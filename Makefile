@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments calibrate fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full reproduction of the paper's figures and the extension studies.
+experiments:
+	$(GO) run ./cmd/experiments -fig all -extra all -uops 2000000 -plot
+
+calibrate:
+	$(GO) run ./cmd/calibrate
+
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,264 @@
+package xbc_test
+
+import (
+	"sync"
+	"testing"
+
+	"xbc"
+)
+
+// The benchmark harness: one benchmark per table/figure of the paper
+// (BenchmarkFigure1/8/9/10 regenerate the corresponding result at reduced
+// scale and report the headline numbers as custom metrics), plus
+// throughput benchmarks for every frontend model and the workload
+// generator. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale reproductions are the job of cmd/experiments; these benches
+// keep the shapes visible in CI-sized runs.
+
+const benchUops = 200_000
+
+var (
+	streamOnce sync.Once
+	streams    map[string]*xbc.Stream
+)
+
+// benchStream returns a cached stream so repeated benchmark iterations
+// and frontends measure simulation, not generation.
+func benchStream(b *testing.B, name string) *xbc.Stream {
+	b.Helper()
+	streamOnce.Do(func() {
+		streams = make(map[string]*xbc.Stream)
+		for _, n := range []string{"gcc", "word", "doom", "m88ksim"} {
+			w, ok := xbc.WorkloadByName(n)
+			if !ok {
+				panic("unknown benchmark workload " + n)
+			}
+			s, err := xbc.Generate(w, benchUops)
+			if err != nil {
+				panic(err)
+			}
+			streams[n] = s
+		}
+	})
+	s, ok := streams[name]
+	if !ok {
+		b.Fatalf("unknown stream %q", name)
+	}
+	return s
+}
+
+func benchOpts() xbc.ExperimentOptions {
+	o := xbc.DefaultExperimentOptions()
+	o.UopsPerTrace = 100_000
+	var ws []xbc.Workload
+	for _, n := range []string{"gcc", "word", "doom"} {
+		w, _ := xbc.WorkloadByName(n)
+		ws = append(ws, w)
+	}
+	o.Workloads = ws
+	o.Parallel = 2
+	return o
+}
+
+// BenchmarkFigure1 regenerates the block length distribution (Figure 1).
+func BenchmarkFigure1(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		r, err := xbc.Figure1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Means[xbc.BasicBlock], "meanBB")
+			b.ReportMetric(r.Means[xbc.XB], "meanXB")
+			b.ReportMetric(r.Means[xbc.XBPromoted], "meanXBprom")
+			b.ReportMetric(r.Means[xbc.DualXB], "meanDualXB")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the XBC vs TC bandwidth comparison.
+func BenchmarkFigure8(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		r, err := xbc.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var xs, ts float64
+			for _, row := range r.Rows {
+				xs += row.XBC
+				ts += row.TC
+			}
+			b.ReportMetric(xs/float64(len(r.Rows)), "xbcBW")
+			b.ReportMetric(ts/float64(len(r.Rows)), "tcBW")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the miss-rate-vs-size sweep.
+func BenchmarkFigure9(b *testing.B) {
+	o := benchOpts()
+	o.Sizes = []int{8 * 1024, 32 * 1024}
+	for i := 0; i < b.N; i++ {
+		r, err := xbc.Figure9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.AvgXBC[0], "xbcMiss8K%")
+			b.ReportMetric(r.AvgTC[0], "tcMiss8K%")
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the miss-rate-vs-associativity sweep.
+func BenchmarkFigure10(b *testing.B) {
+	o := benchOpts()
+	o.Budget = 8 * 1024
+	o.Assocs = []int{1, 2}
+	for i := 0; i < b.N; i++ {
+		r, err := xbc.Figure10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.AvgXBC[0], "xbc1way%")
+			b.ReportMetric(r.AvgXBC[1], "xbc2way%")
+		}
+	}
+}
+
+// BenchmarkRedundancyTable regenerates the in-text redundancy comparison.
+func BenchmarkRedundancyTable(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.Redundancy(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the feature-flag ablation table.
+func BenchmarkAblation(b *testing.B) {
+	o := benchOpts()
+	o.UopsPerTrace = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.Ablation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-frontend simulation throughput (uops simulated per second).
+
+func benchFrontend(b *testing.B, mk func() xbc.Frontend) {
+	s := benchStream(b, "gcc")
+	b.SetBytes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fe := mk()
+		s.Reset()
+		m := fe.Run(s)
+		if m.Uops != s.Uops() {
+			b.Fatal("frontend dropped uops")
+		}
+	}
+	b.ReportMetric(float64(s.Uops())*float64(b.N)/b.Elapsed().Seconds(), "uops/s")
+}
+
+func BenchmarkFrontendIC(b *testing.B) {
+	benchFrontend(b, xbc.NewICFrontend)
+}
+
+func BenchmarkFrontendDecoded(b *testing.B) {
+	benchFrontend(b, func() xbc.Frontend { return xbc.NewDecodedFrontend(32 * 1024) })
+}
+
+func BenchmarkFrontendTC(b *testing.B) {
+	benchFrontend(b, func() xbc.Frontend { return xbc.NewTraceCacheFrontend(32 * 1024) })
+}
+
+func BenchmarkFrontendBBTC(b *testing.B) {
+	benchFrontend(b, func() xbc.Frontend { return xbc.NewBBTCFrontend(32 * 1024) })
+}
+
+func BenchmarkFrontendXBC(b *testing.B) {
+	benchFrontend(b, func() xbc.Frontend { return xbc.NewXBCFrontend(32 * 1024) })
+}
+
+// BenchmarkGenerate measures synthetic stream generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	w, _ := xbc.WorkloadByName("m88ksim")
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.Generate(w, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegment measures Figure 1's segmentation pass.
+func BenchmarkSegment(b *testing.B) {
+	s := benchStream(b, "word")
+	bias := xbc.MeasureBias(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xbc.SegmentLengths(s, xbc.XBPromoted, bias)
+	}
+}
+
+// BenchmarkPathAssociativity regenerates the path-associativity study.
+func BenchmarkPathAssociativity(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.PathAssociativity(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXBTBSweep regenerates the XBTB capacity study.
+func BenchmarkXBTBSweep(b *testing.B) {
+	o := benchOpts()
+	o.UopsPerTrace = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.XBTBSweep(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenamerSweep regenerates the renamer width study.
+func BenchmarkRenamerSweep(b *testing.B) {
+	o := benchOpts()
+	o.UopsPerTrace = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.RenamerSweep(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContextSwitch regenerates the context-switch study.
+func BenchmarkContextSwitch(b *testing.B) {
+	o := benchOpts()
+	o.UopsPerTrace = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := xbc.ContextSwitch(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontendXBCNextXB measures the XBC with next-XB prediction.
+func BenchmarkFrontendXBCNextXB(b *testing.B) {
+	benchFrontend(b, func() xbc.Frontend {
+		cfg := xbc.DefaultXBCConfig(32 * 1024)
+		cfg.NextXB = true
+		return xbc.NewXBCFrontendWith(cfg, xbc.DefaultFrontendConfig())
+	})
+}

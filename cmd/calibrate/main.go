@@ -1,0 +1,99 @@
+// Command calibrate verifies the synthetic workload suite against the
+// statistics the paper's evaluation depends on: the Figure-1 block length
+// means, dynamic code footprints, branch mixes, and a quick XBC-vs-TC
+// sanity comparison per workload. Run it after touching the workload
+// generator.
+//
+// Usage:
+//
+//	calibrate [-uops N] [-traces a,b,c] [-budget N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"xbc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	var (
+		uops   = flag.Uint64("uops", 500_000, "dynamic uops per workload")
+		budget = flag.Int("budget", 32*1024, "cache budget for the sanity comparison")
+		traces = flag.String("traces", "", "workload subset (default all 21)")
+	)
+	flag.Parse()
+
+	ws := xbc.Workloads()
+	if *traces != "" {
+		ws = ws[:0]
+		for _, n := range strings.Split(*traces, ",") {
+			w, ok := xbc.WorkloadByName(strings.TrimSpace(n))
+			if !ok {
+				log.Fatalf("unknown workload %q", n)
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	type row struct {
+		w                      xbc.Workload
+		sum                    xbc.Summary
+		bb, xb, xp, dx         float64
+		xbcMiss, tcMiss, ratio float64
+	}
+	rows := make([]row, len(ws))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for i, w := range ws {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w xbc.Workload) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := xbc.Generate(w, *uops)
+			if err != nil {
+				log.Fatalf("%s: %v", w.Name, err)
+			}
+			r := row{w: w, sum: xbc.Summarize(s)}
+			bias := xbc.MeasureBias(s)
+			r.bb = xbc.SegmentLengths(s, xbc.BasicBlock, nil).Mean()
+			r.xb = xbc.SegmentLengths(s, xbc.XB, nil).Mean()
+			r.xp = xbc.SegmentLengths(s, xbc.XBPromoted, bias).Mean()
+			r.dx = xbc.SegmentLengths(s, xbc.DualXB, nil).Mean()
+			s.Reset()
+			r.xbcMiss = xbc.NewXBCFrontend(*budget).Run(s).UopMissRate()
+			s.Reset()
+			r.tcMiss = xbc.NewTraceCacheFrontend(*budget).Run(s).UopMissRate()
+			if r.tcMiss > 0 {
+				r.ratio = 1 - r.xbcMiss/r.tcMiss
+			}
+			rows[i] = r
+		}(i, w)
+	}
+	wg.Wait()
+
+	fmt.Printf("%-10s %-10s %9s %6s %6s %6s %6s  %7s %7s %7s\n",
+		"trace", "suite", "footprint", "BB", "XB", "XB+p", "dual", "XBC%", "TC%", "redu")
+	var abb, axb, axp, adx, ared float64
+	for _, r := range rows {
+		fmt.Printf("%-10s %-10s %8dK %6.2f %6.2f %6.2f %6.2f  %7.2f %7.2f %6.1f%%\n",
+			r.w.Name, r.w.Suite, r.sum.StaticUops/1024, r.bb, r.xb, r.xp, r.dx,
+			r.xbcMiss, r.tcMiss, 100*r.ratio)
+		abb += r.bb
+		axb += r.xb
+		axp += r.xp
+		adx += r.dx
+		ared += r.ratio
+	}
+	n := float64(len(rows))
+	fmt.Printf("%-10s %-10s %9s %6.2f %6.2f %6.2f %6.2f  %7s %7s %6.1f%%\n",
+		"MEAN", "", "", abb/n, axb/n, axp/n, adx/n, "", "", 100*ared/n)
+	fmt.Printf("%-10s %-10s %9s %6.1f %6.1f %6.1f %6.1f   (Figure 1 targets)\n",
+		"PAPER", "", "", 7.7, 8.0, 10.0, 12.7)
+}

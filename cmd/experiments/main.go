@@ -1,0 +1,177 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-fig 1|8|9|10|all] [-extra redundancy|frontends|ablation]
+//	            [-uops N] [-budget N] [-traces a,b,c] [-csv] [-parallel N]
+//
+// With no flags it reproduces all four figures at the default scale
+// (21 workloads, 1M uops each, 32K-uop caches).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"xbc"
+	"xbc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig      = flag.String("fig", "all", "figure to reproduce: 1, 8, 9, 10, all, or none")
+		extra    = flag.String("extra", "", "extra studies: redundancy, frontends, ablation, pathassoc, xbtb, renamer, ctxswitch, phases, ipc (comma separated, or 'all')")
+		uops     = flag.Uint64("uops", 1_000_000, "dynamic uops per workload")
+		budget   = flag.Int("budget", 32*1024, "cache uop budget for fixed-size experiments")
+		traces   = flag.String("traces", "", "comma-separated workload subset (default: all 21)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot     = flag.Bool("plot", false, "also draw ASCII charts for figures 9 and 10")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent workload simulations")
+	)
+	flag.Parse()
+
+	opts := xbc.DefaultExperimentOptions()
+	opts.UopsPerTrace = *uops
+	opts.Budget = *budget
+	opts.Parallel = *parallel
+	if *traces != "" {
+		var ws []xbc.Workload
+		for _, name := range strings.Split(*traces, ",") {
+			w, ok := xbc.WorkloadByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown workload %q (known: %s)", name, strings.Join(xbc.WorkloadNames(), ", "))
+			}
+			ws = append(ws, w)
+		}
+		opts.Workloads = ws
+	}
+
+	emit := func(t *stats.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("1") {
+		r, err := xbc.Figure1(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r.Table)
+	}
+	if want("8") {
+		r, err := xbc.Figure8(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r.Table)
+	}
+	if want("9") {
+		r, err := xbc.Figure9(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r.Table)
+		if *plot {
+			if err := r.Plot.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if want("10") {
+		r, err := xbc.Figure10(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r.Table)
+		if *plot {
+			if err := r.Plot.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *extra != "" {
+		studies := strings.Split(*extra, ",")
+		if *extra == "all" {
+			studies = []string{"redundancy", "frontends", "ablation", "pathassoc", "xbtb", "renamer", "ctxswitch", "phases", "ipc"}
+		}
+		for _, st := range studies {
+			switch strings.TrimSpace(st) {
+			case "redundancy":
+				t, err := xbc.Redundancy(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "frontends":
+				t, err := xbc.FrontendLandscape(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "ablation":
+				t, err := xbc.Ablation(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "pathassoc":
+				t, err := xbc.PathAssociativity(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "xbtb":
+				t, err := xbc.XBTBSweep(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "renamer":
+				t, err := xbc.RenamerSweep(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "ctxswitch":
+				t, err := xbc.ContextSwitch(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "phases":
+				t, err := xbc.Phases(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			case "ipc":
+				t, err := xbc.IPCEstimate(opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(t)
+			default:
+				log.Fatalf("unknown extra study %q", st)
+			}
+		}
+	}
+}

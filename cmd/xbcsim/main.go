@@ -1,0 +1,112 @@
+// Command xbcsim runs one frontend model over one trace and reports the
+// paper's metrics.
+//
+// Usage:
+//
+//	xbcsim -fe xbc -trace gcc -uops 1000000 -budget 32768
+//	xbcsim -fe tc -in gcc.xtr
+//	xbcsim -fe all -trace word
+//
+// -fe selects ic, decoded, tc, bbtc, xbc, or all. The input is either a
+// named synthetic workload (-trace) or an .xtr file (-in).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"xbc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbcsim: ")
+	var (
+		fe      = flag.String("fe", "xbc", "frontend: ic, decoded, tc, bbtc, xbc, all")
+		name    = flag.String("trace", "", "synthetic workload name")
+		in      = flag.String("in", "", ".xtr trace file")
+		uops    = flag.Uint64("uops", 1_000_000, "dynamic uops (with -trace)")
+		budget  = flag.Int("budget", 32*1024, "cache uop budget")
+		verbose = flag.Bool("v", false, "print structure-specific extras")
+	)
+	flag.Parse()
+
+	var s *xbc.Stream
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err = xbc.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *name != "":
+		w, ok := xbc.WorkloadByName(*name)
+		if !ok {
+			w, ok = xbc.MicroWorkloadByName(*name)
+		}
+		if !ok {
+			log.Fatalf("unknown workload %q (21 paper workloads plus micro: straightline, loopnest, callheavy, switchheavy, monotone)", *name)
+		}
+		var err error
+		s, err = xbc.Generate(w, *uops)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	models := map[string]func() xbc.Frontend{
+		"ic":      xbc.NewICFrontend,
+		"decoded": func() xbc.Frontend { return xbc.NewDecodedFrontend(*budget) },
+		"tc":      func() xbc.Frontend { return xbc.NewTraceCacheFrontend(*budget) },
+		"bbtc":    func() xbc.Frontend { return xbc.NewBBTCFrontend(*budget) },
+		"xbc":     func() xbc.Frontend { return xbc.NewXBCFrontend(*budget) },
+	}
+	order := []string{"ic", "decoded", "tc", "bbtc", "xbc"}
+
+	run := func(key string) {
+		mk, ok := models[key]
+		if !ok {
+			log.Fatalf("unknown frontend %q", key)
+		}
+		model := mk()
+		s.Reset()
+		m := model.Run(s)
+		fmt.Printf("%-8s insts=%d uops=%d\n", model.Name(), m.Insts, m.Uops)
+		fmt.Printf("  uop miss rate   %6.2f %%\n", m.UopMissRate())
+		fmt.Printf("  delivery BW     %6.2f uops/cycle\n", m.Bandwidth())
+		fmt.Printf("  overall BW      %6.2f uops/cycle\n", m.OverallBandwidth())
+		fmt.Printf("  cond mispredict %6.2f %% (%d/%d)\n", m.CondMissRate(), m.CondMiss, m.CondExec)
+		fmt.Printf("  mode switches   %d, structure misses %d\n", m.ModeSwitches, m.StructMisses)
+		ph := m.Phases()
+		fmt.Printf("  phases          steady %.1f%% / transition %.1f%% / stall %.1f%%\n",
+			ph.SteadyPct, ph.TransitionPct, ph.StallPct)
+		if *verbose && len(m.Extra) > 0 {
+			keys := make([]string, 0, len(m.Extra))
+			for k := range m.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-20s %g\n", k, m.Extra[k])
+			}
+		}
+	}
+
+	if *fe == "all" {
+		for _, key := range order {
+			run(key)
+		}
+		return
+	}
+	run(*fe)
+}

@@ -1,0 +1,3 @@
+module xbc
+
+go 1.22

@@ -1,0 +1,69 @@
+package bpred
+
+import "xbc/internal/isa"
+
+// Tournament is McFarling's combining predictor from the same TN-36 the
+// paper cites for GSHARE: a bimodal predictor and a GSHARE run in
+// parallel, and a per-address table of 2-bit chooser counters selects
+// which one to believe. The paper's evaluation uses plain GSHARE; the
+// tournament is provided for ablation studies of the XBP.
+type Tournament struct {
+	gshare  *Gshare
+	bimodal *Bimodal
+	choice  []uint8 // 2-bit: >=2 prefer gshare
+	mask    uint64
+}
+
+// NewTournament builds a combining predictor: gshare with histBits of
+// history, a bimodal of 2^indexBits entries, and a chooser of the same
+// size.
+func NewTournament(histBits, indexBits uint) *Tournament {
+	t := &Tournament{
+		gshare:  NewGshare(histBits),
+		bimodal: NewBimodal(indexBits),
+		choice:  make([]uint8, 1<<indexBits),
+		mask:    uint64(1)<<indexBits - 1,
+	}
+	t.Reset()
+	return t
+}
+
+func (t *Tournament) choiceIndex(pc isa.Addr) uint64 { return uint64(pc>>1) & t.mask }
+
+// Predict returns the chosen component's direction guess.
+func (t *Tournament) Predict(pc isa.Addr) bool {
+	if t.choice[t.choiceIndex(pc)] >= 2 {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update trains both components and moves the chooser toward whichever
+// component was right (when they disagree in correctness).
+func (t *Tournament) Update(pc isa.Addr, taken bool) {
+	g := t.gshare.Predict(pc)
+	b := t.bimodal.Predict(pc)
+	i := t.choiceIndex(pc)
+	if g != b {
+		if g == taken {
+			if t.choice[i] < 3 {
+				t.choice[i]++
+			}
+		} else if t.choice[i] > 0 {
+			t.choice[i]--
+		}
+	}
+	t.gshare.Update(pc, taken)
+	t.bimodal.Update(pc, taken)
+}
+
+// Reset clears all component state; choosers start neutral-to-gshare.
+func (t *Tournament) Reset() {
+	t.gshare.Reset()
+	t.bimodal.Reset()
+	for i := range t.choice {
+		t.choice[i] = 2
+	}
+}
+
+var _ DirPredictor = (*Tournament)(nil)

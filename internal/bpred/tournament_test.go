@@ -1,0 +1,99 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"xbc/internal/isa"
+)
+
+func TestTournamentLearnsBias(t *testing.T) {
+	p := NewTournament(12, 12)
+	pc := isa.Addr(0x100)
+	for i := 0; i < 64; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("tournament failed on a monotonic branch")
+	}
+}
+
+func TestTournamentLearnsPattern(t *testing.T) {
+	// Alternation: gshare component should win the chooser and track it.
+	p := NewTournament(12, 12)
+	pc := isa.Addr(0x200)
+	taken := false
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		pred := p.Predict(pc)
+		if i >= 2000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("alternation accuracy %.2f", acc)
+	}
+}
+
+func TestTournamentAtLeastAsGoodAsComponentsOnMix(t *testing.T) {
+	// On a mix of biased and patterned branches the tournament should not
+	// be materially worse than the better single component.
+	run := func(p DirPredictor, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		type br struct {
+			pc      isa.Addr
+			pattern []bool
+			i       int
+		}
+		var branches []br
+		for k := 0; k < 32; k++ {
+			n := 1 + rng.Intn(6)
+			pat := make([]bool, n)
+			for j := range pat {
+				pat[j] = rng.Intn(2) == 0
+			}
+			branches = append(branches, br{pc: isa.Addr(0x1000 + k*64), pattern: pat})
+		}
+		correct, total := 0, 0
+		for i := 0; i < 60_000; i++ {
+			b := &branches[rng.Intn(len(branches))]
+			want := b.pattern[b.i]
+			b.i = (b.i + 1) % len(b.pattern)
+			if i > 20_000 {
+				total++
+				if p.Predict(b.pc) == want {
+					correct++
+				}
+			}
+			p.Update(b.pc, want)
+		}
+		return float64(correct) / float64(total)
+	}
+	tour := run(NewTournament(14, 12), 7)
+	gsh := run(NewGshare(14), 7)
+	bim := run(NewBimodal(12), 7)
+	best := gsh
+	if bim > best {
+		best = bim
+	}
+	if tour < best-0.05 {
+		t.Fatalf("tournament %.3f much worse than best component %.3f (gshare %.3f bimodal %.3f)",
+			tour, best, gsh, bim)
+	}
+}
+
+func TestTournamentReset(t *testing.T) {
+	p := NewTournament(10, 10)
+	for i := 0; i < 64; i++ {
+		p.Update(0x10, true)
+	}
+	p.Reset()
+	if p.Predict(0x10) {
+		t.Fatal("reset incomplete")
+	}
+}

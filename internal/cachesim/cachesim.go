@@ -1,0 +1,151 @@
+// Package cachesim provides a generic set-associative cache model with
+// true-LRU replacement. The instruction-cache and decoded-cache frontends
+// are built on it; the XBC and TC have bespoke structures (their placement
+// rules do not fit a plain cache) and implement their own arrays.
+package cachesim
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	Sets      int // power of two
+	Ways      int // >= 1
+	LineBytes int // power of two; granularity of the address -> line mapping
+}
+
+// Validate reports the first problem with the geometry.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cachesim: sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cachesim: ways %d must be positive", c.Ways)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d must be a positive power of two", c.LineBytes)
+	}
+	return nil
+}
+
+// TotalBytes returns the cache capacity.
+func (c Config) TotalBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Cache is a set-associative cache over 64-bit addresses with true LRU.
+// It tracks only presence (tags), which is all the frontend models need.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	tags      []uint64
+	valid     []bool
+	stamp     []uint64
+	tick      uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(cfg.Sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamp:     make([]uint64, n),
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineOf returns the line address (tag+index portion) containing addr.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// Contains reports whether the line holding addr is present, without
+// touching LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access touches the line containing addr: on a hit the LRU stamp is
+// refreshed; on a miss the line is filled, evicting the LRU way. Returns
+// whether it was a hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.cfg.Ways
+	c.tick++
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.tick
+			c.hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			continue
+		}
+		if c.valid[victim] && c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// Hits returns the number of hitting accesses so far.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of missing accesses so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/(hits+misses), or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(t)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

@@ -1,0 +1,158 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Sets: 64, Ways: 4, LineBytes: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 1, LineBytes: 32},
+		{Sets: 3, Ways: 1, LineBytes: 32}, // not a power of two
+		{Sets: 4, Ways: 0, LineBytes: 32},
+		{Sets: 4, Ways: 1, LineBytes: 0},
+		{Sets: 4, Ways: 1, LineBytes: 48}, // not a power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if got := good.TotalBytes(); got != 64*4*32 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(Config{Sets: 16, Ways: 2, LineBytes: 32})
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x101f) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1020) {
+		t.Fatal("next-line access hit while cold")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("MissRate = %v", c.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One set (Sets=1), 2 ways: the third distinct line evicts the LRU.
+	c := MustNew(Config{Sets: 1, Ways: 2, LineBytes: 32})
+	c.Access(0x0)  // miss, fill A
+	c.Access(0x20) // miss, fill B
+	c.Access(0x0)  // hit A (B becomes LRU)
+	c.Access(0x40) // miss, evicts B
+	if !c.Contains(0x0) {
+		t.Fatal("A evicted but was MRU")
+	}
+	if c.Contains(0x20) {
+		t.Fatal("B not evicted but was LRU")
+	}
+	if !c.Contains(0x40) {
+		t.Fatal("C missing after fill")
+	}
+}
+
+func TestContainsDoesNotTouch(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2, LineBytes: 32})
+	c.Access(0x0)
+	c.Access(0x20)
+	// Probe A with Contains (must not refresh LRU), then fill a third
+	// line: A should be the victim since its last *access* is older.
+	c.Contains(0x0)
+	c.Access(0x40)
+	if c.Contains(0x0) {
+		t.Fatal("Contains refreshed LRU")
+	}
+	if !c.Contains(0x20) {
+		t.Fatal("wrong victim")
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 3 {
+		t.Fatalf("Contains affected stats: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{Sets: 4, Ways: 1, LineBytes: 16})
+	c.Access(0x100)
+	c.Reset()
+	if c.Contains(0x100) || c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestWorkingSetFits checks the fundamental cache property: a working set
+// of at most Ways lines per set always hits after one warmup pass,
+// regardless of access order.
+func TestWorkingSetFits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Sets: 8, Ways: 4, LineBytes: 64}
+		c := MustNew(cfg)
+		// Build a working set with exactly Ways lines in each set.
+		var addrs []uint64
+		for set := 0; set < cfg.Sets; set++ {
+			for w := 0; w < cfg.Ways; w++ {
+				line := uint64(w*cfg.Sets + set)
+				addrs = append(addrs, line*uint64(cfg.LineBytes))
+			}
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		// Any access order over the same set must now hit forever.
+		for i := 0; i < 4*len(addrs); i++ {
+			a := addrs[rng.Intn(len(addrs))]
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHitsPlusMissesConserved checks accounting under random access.
+func TestHitsPlusMissesConserved(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(Config{Sets: 4, Ways: 2, LineBytes: 32})
+		total := int(n%2048) + 1
+		for i := 0; i < total; i++ {
+			c.Access(uint64(rng.Intn(64)) * 32)
+		}
+		return c.Hits()+c.Misses() == uint64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Sets: 3, Ways: 1, LineBytes: 32}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic")
+		}
+	}()
+	MustNew(Config{Sets: 3, Ways: 1, LineBytes: 32})
+}

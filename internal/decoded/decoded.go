@@ -1,0 +1,225 @@
+// Package decoded implements the decoded-instruction (uop) cache frontend
+// of section 2.2 of the paper: the decoder's output is cached in fixed-size
+// uop lines so hits skip variable-length decode. Lines hold consecutive
+// uops cut at taken transfers and at the line capacity, so the structure
+// suffers the IC's one-run-per-cycle bandwidth limit plus fragmentation —
+// exactly the weaknesses the paper cites for it.
+package decoded
+
+import (
+	"fmt"
+
+	"xbc/internal/frontend"
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+// Config describes the decoded cache geometry.
+type Config struct {
+	Sets     int // power of two
+	Ways     int
+	LineUops int // uop slots per line (6 is typical)
+}
+
+// DefaultConfig sizes the decoded cache to a uop budget with 8-way sets of
+// 6-uop lines.
+func DefaultConfig(uopBudget int) Config {
+	c := Config{Ways: 8, LineUops: 6}
+	sets := uopBudget / (c.Ways * c.LineUops)
+	if sets < 1 {
+		sets = 1
+	}
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	c.Sets = p
+	return c
+}
+
+// Validate reports the first problem with the geometry.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("decoded: sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways < 1 || c.LineUops < 1 {
+		return fmt.Errorf("decoded: bad ways %d / line uops %d", c.Ways, c.LineUops)
+	}
+	return nil
+}
+
+// UopCapacity returns the cache's uop budget.
+func (c Config) UopCapacity() int { return c.Sets * c.Ways * c.LineUops }
+
+type lineInst struct {
+	ip      isa.Addr
+	numUops uint8
+	class   isa.Class
+}
+
+type line struct {
+	valid   bool
+	startIP isa.Addr
+	uops    int
+	insts   []lineInst
+	stamp   uint64
+}
+
+// Frontend is the decoded-cache instruction-supply model.
+type Frontend struct {
+	cfg   Config
+	fecfg frontend.Config
+}
+
+// New returns a decoded-cache frontend.
+func New(cfg Config, fecfg frontend.Config) *Frontend {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Frontend{cfg: cfg, fecfg: fecfg}
+}
+
+// Name identifies the model.
+func (f *Frontend) Name() string { return "decoded" }
+
+// Run replays the stream through the decoded-cache frontend.
+func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
+	var m frontend.Metrics
+	lines := make([]line, f.cfg.Sets*f.cfg.Ways)
+	var tick uint64
+	setOf := func(ip isa.Addr) int { return int(uint64(ip>>1) & uint64(f.cfg.Sets-1)) }
+	lookup := func(ip isa.Addr) *line {
+		base := setOf(ip) * f.cfg.Ways
+		for w := 0; w < f.cfg.Ways; w++ {
+			ln := &lines[base+w]
+			if ln.valid && ln.startIP == ip {
+				tick++
+				ln.stamp = tick
+				return ln
+			}
+		}
+		return nil
+	}
+	insert := func(startIP isa.Addr, insts []lineInst, uops int) {
+		base := setOf(startIP) * f.cfg.Ways
+		victim := base
+		for w := 0; w < f.cfg.Ways; w++ {
+			ln := &lines[base+w]
+			if ln.valid && ln.startIP == startIP {
+				victim = base + w
+				break
+			}
+			if !ln.valid {
+				victim = base + w
+				continue
+			}
+			if lines[victim].valid && ln.stamp < lines[victim].stamp {
+				victim = base + w
+			}
+		}
+		tick++
+		stored := make([]lineInst, len(insts))
+		copy(stored, insts)
+		lines[victim] = line{valid: true, startIP: startIP, uops: uops, insts: stored, stamp: tick}
+	}
+
+	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
+	preds := frontend.NewPredictorSet()
+	recs := s.Recs
+	i := 0
+	inDelivery := false
+	for i < len(recs) {
+		if ln := lookup(recs[i].IP); ln != nil {
+			inDelivery = true
+			// Delivery: one line per cycle; stop on path divergence.
+			m.DeliveryFetches++
+			for _, e := range ln.insts {
+				if i >= len(recs) || recs[i].IP != e.ip {
+					break
+				}
+				r := recs[i]
+				m.Insts++
+				m.Uops += uint64(r.NumUops)
+				m.DeliveredUops += uint64(r.NumUops)
+				i++
+				if r.Class == isa.Seq {
+					continue
+				}
+				out := preds.Resolve(r, &m)
+				if out.Mispredicted {
+					m.PenaltyCycles += uint64(f.fecfg.MispredictPenalty)
+					m.DeliveryPenalty += uint64(f.fecfg.MispredictPenalty)
+				}
+				if r.Next != r.FallThrough() {
+					// Taken transfer: lines hold sequential runs only.
+					break
+				}
+			}
+			continue
+		}
+		// Build: decode a line's worth of consecutive uops.
+		m.StructMisses++
+		if inDelivery {
+			inDelivery = false
+			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
+		}
+		startIP := recs[i].IP
+		var fill []lineInst
+		uops := 0
+		for i < len(recs) {
+			g := path.FetchGroup(recs, i)
+			m.BuildCycles += uint64(1 + g.Stall)
+			done := false
+			for k := 0; k < g.N && !done; k++ {
+				r := recs[i+k]
+				if uops+int(r.NumUops) > f.cfg.LineUops {
+					done = true
+					g.N = k
+					break
+				}
+				m.Insts++
+				m.Uops += uint64(r.NumUops)
+				m.BuildUops += uint64(r.NumUops)
+				uops += int(r.NumUops)
+				fill = append(fill, lineInst{ip: r.IP, numUops: r.NumUops, class: r.Class})
+				if out := preds.Resolve(r, &m); out.Mispredicted {
+					m.PenaltyCycles += uint64(f.fecfg.MispredictPenalty)
+				}
+				if r.Next != r.FallThrough() {
+					done = true
+					g.N = k + 1
+				}
+			}
+			i += g.N
+			if done || uops >= f.cfg.LineUops {
+				break
+			}
+			if g.N == 0 {
+				break
+			}
+		}
+		if len(fill) > 0 {
+			insert(startIP, fill, uops)
+		} else {
+			i++ // defensive progress
+		}
+	}
+	frag := 0.0
+	validLines := 0
+	usedUops := 0
+	for k := range lines {
+		if lines[k].valid {
+			validLines++
+			usedUops += lines[k].uops
+		}
+	}
+	if validLines > 0 {
+		frag = 1 - float64(usedUops)/float64(validLines*f.cfg.LineUops)
+	}
+	m.AddExtra("fragmentation", frag)
+	m.AddExtra("ic_miss_rate", path.MissRate())
+	m.Finalize(f.fecfg)
+	return m
+}
+
+var _ frontend.Frontend = (*Frontend)(nil)

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xbc/internal/bbtc"
+	"xbc/internal/decoded"
+	"xbc/internal/frontend"
+	"xbc/internal/icfe"
+	"xbc/internal/stats"
+	"xbc/internal/tcache"
+	"xbc/internal/workload"
+	"xbc/internal/xbcore"
+)
+
+// This file adds the studies the paper reports in text rather than as
+// figures (TC redundancy, in-text length claims) plus the ablations
+// DESIGN.md calls out.
+
+// Redundancy reproduces the in-text redundancy discussion of sections 2.3
+// and 3.3: the TC stores each uop in multiple traces while the XBC is
+// (nearly) redundancy free. Reports resident-copy averages per trace.
+func Redundancy(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	type row struct {
+		name          string
+		suite         workload.Suite
+		xbcRed, tcRed float64
+		tcFrag        float64
+	}
+	rows := make([]row, len(o.Workloads))
+	errs := make([]error, len(o.Workloads))
+	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
+		s, err := stream(o, w)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
+		s.Reset()
+		mx := x.Run(s)
+		tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
+		s.Reset()
+		mt := tc.Run(s)
+		rows[i] = row{
+			name: w.Name, suite: w.Suite,
+			xbcRed: mx.Extra["redundancy"],
+			tcRed:  mt.Extra["redundancy"],
+			tcFrag: mt.Extra["fragmentation"],
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("Instruction redundancy (resident copies per distinct uop, %dK uops)", o.Budget/1024),
+		"trace", "suite", "XBC", "TC", "TC fragmentation")
+	var xr, tr []float64
+	last := workload.SPECint
+	for i, r := range rows {
+		if i > 0 && r.suite != last {
+			t.AddSeparator()
+		}
+		last = r.suite
+		t.AddRowf(r.name, r.suite.String(), r.xbcRed, r.tcRed, r.tcFrag)
+		xr = append(xr, r.xbcRed)
+		tr = append(tr, r.tcRed)
+	}
+	t.AddSeparator()
+	t.AddRowf("mean", "", stats.Mean(xr), stats.Mean(tr), "")
+	return t, nil
+}
+
+// Frontends compares all five instruction-supply models (IC, decoded
+// cache, TC, BBTC, XBC) at one budget — the qualitative landscape of the
+// paper's section 2.
+func Frontends(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	type row struct {
+		name  string
+		suite workload.Suite
+		vals  [5][2]float64 // per model: {miss%, bandwidth}
+	}
+	rows := make([]row, len(o.Workloads))
+	errs := make([]error, len(o.Workloads))
+	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
+		s, err := stream(o, w)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		models := []frontend.Frontend{
+			icfe.New(o.FE, frontend.DefaultICConfig()),
+			decoded.New(decoded.DefaultConfig(o.Budget), o.FE),
+			tcache.New(tcache.DefaultConfig(o.Budget), o.FE),
+			bbtc.New(bbtc.DefaultConfig(o.Budget), o.FE),
+			xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE),
+		}
+		r := row{name: w.Name, suite: w.Suite}
+		for mi, fe := range models {
+			s.Reset()
+			m := fe.Run(s)
+			r.vals[mi] = [2]float64{m.UopMissRate(), m.Bandwidth()}
+		}
+		rows[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("Frontend landscape (%dK uops): miss%% / delivery bandwidth", o.Budget/1024),
+		"trace", "IC bw", "decoded miss/bw", "TC miss/bw", "BBTC miss/bw", "XBC miss/bw")
+	for _, r := range rows {
+		t.AddRow(r.name,
+			fmt.Sprintf("%.2f", r.vals[0][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.vals[1][0], r.vals[1][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.vals[2][0], r.vals[2][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.vals[3][0], r.vals[3][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.vals[4][0], r.vals[4][1]))
+	}
+	return t, nil
+}
+
+// AblationSpec names one feature-flag ablation.
+type AblationSpec struct {
+	Name   string
+	Mutate func(*xbcore.Config)
+}
+
+// Ablations returns the standard ablation set from DESIGN.md.
+func Ablations() []AblationSpec {
+	return []AblationSpec{
+		{"baseline (all on)", func(c *xbcore.Config) {}},
+		{"no promotion", func(c *xbcore.Config) { c.Promotion = false }},
+		{"no complex XBs", func(c *xbcore.Config) { c.ComplexXB = false }},
+		{"no set search", func(c *xbcore.Config) { c.SetSearch = false }},
+		{"no smart placement", func(c *xbcore.Config) { c.SmartPlacement = false }},
+		{"no dynamic placement", func(c *xbcore.Config) { c.DynamicPlacement = false }},
+		{"single XB/cycle", func(c *xbcore.Config) { c.XBsPerCycle = 1 }},
+		{"4 XBs/cycle", func(c *xbcore.Config) { c.XBsPerCycle = 4 }},
+		{"oracle prediction (limit)", func(c *xbcore.Config) { c.Oracle = true }},
+		{"bimodal XBP", func(c *xbcore.Config) { c.XBP = xbcore.XBPBimodal }},
+		{"tournament XBP", func(c *xbcore.Config) { c.XBP = xbcore.XBPTournament }},
+		{"next-XB prediction", func(c *xbcore.Config) { c.NextXB = true }},
+		{"2 banks", func(c *xbcore.Config) {
+			c.Banks, c.BankUops = 2, 8
+			c.Sets = sizeToSets(c.UopCapacity(), c.Banks*c.BankUops*c.Ways)
+		}},
+		{"8 banks", func(c *xbcore.Config) {
+			c.Banks, c.BankUops = 8, 2
+			c.Sets = sizeToSets(c.UopCapacity(), c.Banks*c.BankUops*c.Ways)
+		}},
+	}
+}
+
+// Ablation measures the XBC feature flags one at a time over a workload
+// subset (default: one representative per suite when the options carry all
+// 21 workloads).
+func Ablation(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	ws := o.Workloads
+	if len(ws) == len(workload.All()) {
+		ws = pickRepresentatives()
+	}
+	t := stats.NewTable(fmt.Sprintf("XBC ablations (%dK uops, traces: %s)", o.Budget/1024, nameList(ws)),
+		"configuration", "miss %", "bandwidth", "redundancy", "set searches", "bank conflicts")
+	for _, ab := range Ablations() {
+		var miss, bw, red, ss, conf []float64
+		errs := make([]error, len(ws))
+		missV := make([]float64, len(ws))
+		bwV := make([]float64, len(ws))
+		redV := make([]float64, len(ws))
+		ssV := make([]float64, len(ws))
+		confV := make([]float64, len(ws))
+		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
+			s, err := stream(o, w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := xbcore.DefaultConfig(o.Budget)
+			ab.Mutate(&cfg)
+			x := xbcore.New(cfg, o.FE)
+			s.Reset()
+			m := x.Run(s)
+			missV[i] = m.UopMissRate()
+			bwV[i] = m.Bandwidth()
+			redV[i] = m.Extra["redundancy"]
+			ssV[i] = m.Extra["set_searches"]
+			confV[i] = m.Extra["bank_conflicts"]
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		miss, bw, red, ss, conf = missV, bwV, redV, ssV, confV
+		t.AddRowf(ab.Name, stats.Mean(miss), stats.Mean(bw), stats.Mean(red),
+			stats.Mean(ss), stats.Mean(conf))
+	}
+	return t, nil
+}
+
+// pickRepresentatives returns one workload per suite for ablation runs.
+func pickRepresentatives() []workload.Workload {
+	var out []workload.Workload
+	for _, name := range []string{"gcc", "word", "doom"} {
+		if w, ok := workload.ByName(name); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func nameList(ws []workload.Workload) string {
+	s := ""
+	for i, w := range ws {
+		if i > 0 {
+			s += ","
+		}
+		s += w.Name
+	}
+	return s
+}
+
+// PathAssociativity contrasts the baseline TC with the [Jaco97]-style
+// path-associative TC the paper cites, and with the XBC: path
+// associativity lets same-start traces coexist (raising hit rate at the
+// cost of extra redundancy), while the XBC removes the redundancy
+// entirely.
+func PathAssociativity(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	type row struct {
+		name                     string
+		tc, tcPath, xbc          float64
+		tcRed, tcPathRed, xbcRed float64
+	}
+	rows := make([]row, len(o.Workloads))
+	errs := make([]error, len(o.Workloads))
+	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
+		s, err := stream(o, w)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		base := tcache.DefaultConfig(o.Budget)
+		pa := base
+		pa.PathAssoc = true
+		s.Reset()
+		mt := tcache.New(base, o.FE).Run(s)
+		s.Reset()
+		mp := tcache.New(pa, o.FE).Run(s)
+		s.Reset()
+		mx := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s)
+		rows[i] = row{
+			name: w.Name,
+			tc:   mt.UopMissRate(), tcPath: mp.UopMissRate(), xbc: mx.UopMissRate(),
+			tcRed: mt.Extra["redundancy"], tcPathRed: mp.Extra["redundancy"], xbcRed: mx.Extra["redundancy"],
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("Path associativity (%dK uops): miss%% (redundancy)", o.Budget/1024),
+		"trace", "TC", "TC+path", "XBC")
+	var a, b, c []float64
+	for _, r := range rows {
+		t.AddRow(r.name,
+			fmt.Sprintf("%5.2f (%.2f)", r.tc, r.tcRed),
+			fmt.Sprintf("%5.2f (%.2f)", r.tcPath, r.tcPathRed),
+			fmt.Sprintf("%5.2f (%.2f)", r.xbc, r.xbcRed))
+		a = append(a, r.tc)
+		b = append(b, r.tcPath)
+		c = append(c, r.xbc)
+	}
+	t.AddSeparator()
+	t.AddRowf("mean", stats.Mean(a), stats.Mean(b), stats.Mean(c))
+	return t, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xbc/internal/interval"
+	"xbc/internal/stats"
+	"xbc/internal/tcache"
+	"xbc/internal/trace"
+	"xbc/internal/workload"
+	"xbc/internal/xbcore"
+)
+
+// This file holds the extension sweeps beyond the paper's figures: XBTB
+// capacity, renamer width, and context-switch sensitivity.
+
+// XBTBSweep varies the XBTB entry count around the paper's fixed 8K and
+// reports the XBC miss rate — how much pointer-table capacity the design
+// actually needs.
+func XBTBSweep(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	ws := o.Workloads
+	if len(ws) == len(workload.All()) {
+		ws = pickRepresentatives()
+	}
+	entries := []int{1024, 2048, 4096, 8192, 16384}
+	t := stats.NewTable(fmt.Sprintf("XBTB capacity sweep (%dK-uop XBC, traces: %s)", o.Budget/1024, nameList(ws)),
+		"XBTB entries", "miss %", "bandwidth")
+	for _, n := range entries {
+		missV := make([]float64, len(ws))
+		bwV := make([]float64, len(ws))
+		errs := make([]error, len(ws))
+		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
+			s, err := stream(o, w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := xbcore.DefaultConfig(o.Budget)
+			cfg.XBTBSets = sizeToSets(n, cfg.XBTBWays)
+			s.Reset()
+			m := xbcore.New(cfg, o.FE).Run(s)
+			missV[i] = m.UopMissRate()
+			bwV[i] = m.Bandwidth()
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.AddRowf(n, stats.Mean(missV), stats.Mean(bwV))
+	}
+	return t, nil
+}
+
+// RenamerSweep varies the renamer width. The paper fixes it at 8, where
+// the renamer itself caps bandwidth; wider renamers expose the fetch-side
+// differences (the XBC's 2-XB fetch vs the TC's single trace).
+func RenamerSweep(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	ws := o.Workloads
+	if len(ws) == len(workload.All()) {
+		ws = pickRepresentatives()
+	}
+	widths := []int{4, 8, 16, 32}
+	t := stats.NewTable(fmt.Sprintf("Renamer width sweep (%dK uops, traces: %s): bandwidth", o.Budget/1024, nameList(ws)),
+		"renamer", "XBC bw", "TC bw", "XBC 1/cyc bw")
+	for _, width := range widths {
+		fe := o.FE
+		fe.RenamerWidth = width
+		xbcV := make([]float64, len(ws))
+		tcV := make([]float64, len(ws))
+		oneV := make([]float64, len(ws))
+		errs := make([]error, len(ws))
+		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
+			s, err := stream(o, w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.Reset()
+			xbcV[i] = xbcore.New(xbcore.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
+			s.Reset()
+			tcV[i] = tcache.New(tcache.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
+			one := xbcore.DefaultConfig(o.Budget)
+			one.XBsPerCycle = 1
+			s.Reset()
+			oneV[i] = xbcore.New(one, fe).Run(s).Bandwidth()
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.AddRowf(width, stats.Mean(xbcV), stats.Mean(tcV), stats.Mean(oneV))
+	}
+	return t, nil
+}
+
+// ContextSwitch interleaves pairs of workloads in quanta (modelling
+// processes sharing the frontend) and compares miss rates against the
+// solo runs — how gracefully each structure tolerates pollution.
+func ContextSwitch(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	pairs := [][2]string{{"gcc", "word"}, {"li", "doom"}, {"perl", "excel"}}
+	quanta := []int{5000, 20000, 100000}
+	t := stats.NewTable(fmt.Sprintf("Context-switch sensitivity (%dK uops): miss%%", o.Budget/1024),
+		"pair", "quantum", "XBC solo", "XBC mixed", "TC solo", "TC mixed")
+	for _, pair := range pairs {
+		wa, ok := workload.ByName(pair[0])
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", pair[0])
+		}
+		wb, ok := workload.ByName(pair[1])
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", pair[1])
+		}
+		sa, err := stream(o, wa)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := stream(o, wb)
+		if err != nil {
+			return nil, err
+		}
+		// Solo baselines: average of the two runs.
+		runXBC := func(s *trace.Stream) float64 {
+			s.Reset()
+			return xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
+		}
+		runTC := func(s *trace.Stream) float64 {
+			s.Reset()
+			return tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
+		}
+		xbcSolo := (runXBC(sa) + runXBC(sb)) / 2
+		tcSolo := (runTC(sa) + runTC(sb)) / 2
+		for _, q := range quanta {
+			mixed, err := trace.Interleave(q, sa, sb)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(pair[0]+"+"+pair[1], q, xbcSolo, runXBC(mixed), tcSolo, runTC(mixed))
+		}
+		t.AddSeparator()
+	}
+	return t, nil
+}
+
+// Phases reproduces the paper's section-1 phase discussion: the fraction
+// of frontend cycles spent in steady state (delivery), transition (build
+// ramping), and stall (re-steer/miss bubbles), per structure.
+func Phases(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	ws := o.Workloads
+	if len(ws) == len(workload.All()) {
+		ws = pickRepresentatives()
+	}
+	t := stats.NewTable(fmt.Sprintf("Execution phases (%dK uops, traces: %s): steady / transition / stall %%", o.Budget/1024, nameList(ws)),
+		"trace", "XBC", "TC")
+	for _, w := range ws {
+		s, err := stream(o, w)
+		if err != nil {
+			return nil, err
+		}
+		s.Reset()
+		px := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
+		s.Reset()
+		pt := tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
+		t.AddRow(w.Name,
+			fmt.Sprintf("%.0f / %.0f / %.0f", px.SteadyPct, px.TransitionPct, px.StallPct),
+			fmt.Sprintf("%.0f / %.0f / %.0f", pt.SteadyPct, pt.TransitionPct, pt.StallPct))
+	}
+	return t, nil
+}
+
+// IPCEstimate translates frontend metrics into whole-core IPC estimates
+// via interval analysis ([Mich99], the paper's section-1 framework): how
+// much the XBC's better hit rate is worth to the same execution core at
+// each cache size.
+func IPCEstimate(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	ws := o.Workloads
+	if len(ws) == len(workload.All()) {
+		ws = pickRepresentatives()
+	}
+	core := interval.DefaultCore()
+	t := stats.NewTable(
+		fmt.Sprintf("Estimated uops/cycle for an %d-issue, %d-uop-window core (traces: %s)",
+			core.IssueWidth, core.WindowSize, nameList(ws)),
+		"size (uops)", "XBC", "TC", "XBC gain %", "XBC mis/Ku", "TC mis/Ku")
+	for _, size := range o.Sizes {
+		var xs, ts, xm, tm []float64
+		for _, w := range ws {
+			s, err := stream(o, w)
+			if err != nil {
+				return nil, err
+			}
+			s.Reset()
+			mx := xbcore.New(xbcore.DefaultConfig(size), o.FE).Run(s)
+			s.Reset()
+			mt := tcache.New(tcache.DefaultConfig(size), o.FE).Run(s)
+			ex, err := interval.FromMetrics(mx, core)
+			if err != nil {
+				return nil, err
+			}
+			et, err := interval.FromMetrics(mt, core)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, ex.UopsPerCycle)
+			ts = append(ts, et.UopsPerCycle)
+			xm = append(xm, 1000*float64(mx.CondMiss+mx.IndMiss+mx.RetMiss)/float64(mx.Uops))
+			tm = append(tm, 1000*float64(mt.CondMiss+mt.IndMiss+mt.RetMiss)/float64(mt.Uops))
+		}
+		ax, at := stats.Mean(xs), stats.Mean(ts)
+		t.AddRowf(fmt.Sprintf("%dK", size/1024), ax, at, 100*(stats.Ratio(ax, at)-1),
+			stats.Mean(xm), stats.Mean(tm))
+	}
+	return t, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXBTBSweep(t *testing.T) {
+	o := smallOpts()
+	o.UopsPerTrace = 80_000
+	tb, err := XBTBSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if !strings.Contains(tb.String(), "8192") {
+		t.Error("paper's 8K point missing")
+	}
+}
+
+func TestRenamerSweep(t *testing.T) {
+	o := smallOpts()
+	o.UopsPerTrace = 80_000
+	tb, err := RenamerSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestContextSwitch(t *testing.T) {
+	o := smallOpts()
+	o.UopsPerTrace = 80_000
+	tb, err := ContextSwitch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 9 { // 3 pairs x 3 quanta
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestPathAssociativityStudy(t *testing.T) {
+	o := smallOpts()
+	o.UopsPerTrace = 80_000
+	tb, err := PathAssociativity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 { // 2 workloads + mean
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}

@@ -1,0 +1,253 @@
+package frontend
+
+import (
+	"testing"
+
+	"xbc/internal/cachesim"
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{RenamerWidth: 0, BuildInstsPerCycle: 1, BuildUopsPerCycle: 1},
+		{RenamerWidth: 8, MispredictPenalty: -1, BuildInstsPerCycle: 1, BuildUopsPerCycle: 1},
+		{RenamerWidth: 8, ICMissPenalty: -1, BuildInstsPerCycle: 1, BuildUopsPerCycle: 1},
+		{RenamerWidth: 8, BuildInstsPerCycle: 0, BuildUopsPerCycle: 1},
+		{RenamerWidth: 8, BuildInstsPerCycle: 1, BuildUopsPerCycle: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	m := Metrics{DeliveredUops: 900, BuildUops: 100}
+	if got := m.UopMissRate(); got != 10 {
+		t.Fatalf("miss rate = %v", got)
+	}
+	if (Metrics{}).UopMissRate() != 0 {
+		t.Fatal("empty metrics miss rate")
+	}
+	m.DeliveryFetches = 50
+	m.Finalize(DefaultConfig())
+	// Renamer cap: ceil(900/8)=113 > 50 fetches.
+	if m.DeliveryCycles != 113 {
+		t.Fatalf("delivery cycles = %d, want 113", m.DeliveryCycles)
+	}
+	if bw := m.Bandwidth(); bw > 8 {
+		t.Fatalf("bandwidth %v exceeds renamer", bw)
+	}
+	// Fetch-limited case.
+	m2 := Metrics{DeliveredUops: 100, DeliveryFetches: 100}
+	m2.Finalize(DefaultConfig())
+	if m2.DeliveryCycles != 100 || m2.Bandwidth() != 1 {
+		t.Fatalf("fetch-limited: cycles=%d bw=%v", m2.DeliveryCycles, m2.Bandwidth())
+	}
+	// Delivery penalties stretch the episode.
+	m3 := Metrics{DeliveredUops: 800, DeliveryFetches: 100, DeliveryPenalty: 100}
+	m3.Finalize(DefaultConfig())
+	if m3.DeliveryCycles != 200 {
+		t.Fatalf("penalty not folded in: %d", m3.DeliveryCycles)
+	}
+}
+
+func TestMetricsRates(t *testing.T) {
+	m := Metrics{CondExec: 200, CondMiss: 20}
+	if m.CondMissRate() != 10 {
+		t.Fatalf("cond miss rate = %v", m.CondMissRate())
+	}
+	if (Metrics{}).CondMissRate() != 0 {
+		t.Fatal("empty cond miss rate")
+	}
+	m = Metrics{Uops: 80, DeliveryCycles: 5, BuildCycles: 3, PenaltyCycles: 2}
+	if m.TotalCycles() != 10 {
+		t.Fatalf("total cycles = %d", m.TotalCycles())
+	}
+	if m.OverallBandwidth() != 8 {
+		t.Fatalf("overall bw = %v", m.OverallBandwidth())
+	}
+}
+
+func TestAddExtra(t *testing.T) {
+	var m Metrics
+	m.AddExtra("x", 1.5)
+	if m.Extra["x"] != 1.5 {
+		t.Fatal("extra not recorded")
+	}
+}
+
+func mkRec(ip isa.Addr, class isa.Class, uops int, taken bool, next isa.Addr) trace.Rec {
+	r := trace.Rec{IP: ip, Class: class, NumUops: uint8(uops), Size: 4, Taken: taken}
+	if next == 0 {
+		r.Next = r.FallThrough()
+	} else {
+		r.Next = next
+	}
+	return r
+}
+
+func TestPredictorSetCondFlow(t *testing.T) {
+	ps := NewPredictorSet()
+	var m Metrics
+	r := mkRec(0x100, isa.CondBranch, 1, true, 0x500)
+	// First encounter: weakly-not-taken predictor + cold BTB => mispredict.
+	out := ps.Resolve(r, &m)
+	if !out.Mispredicted {
+		t.Fatal("cold taken branch predicted correctly?")
+	}
+	// Train repeatedly; must converge once the 16-bit global history
+	// saturates to all-ones (a monotonic branch needs ~16+2 executions).
+	for i := 0; i < 40; i++ {
+		out = ps.Resolve(r, &m)
+	}
+	if out.Mispredicted {
+		t.Fatal("trained monotonic branch still mispredicts")
+	}
+	if m.CondExec != 41 {
+		t.Fatalf("cond exec = %d", m.CondExec)
+	}
+}
+
+func TestPredictorSetCallReturn(t *testing.T) {
+	ps := NewPredictorSet()
+	var m Metrics
+	call := mkRec(0x100, isa.Call, 1, true, 0x800)
+	ret := mkRec(0x900, isa.Return, 1, true, call.FallThrough())
+	ps.Resolve(call, &m) // pushes return address
+	out := ps.Resolve(ret, &m)
+	if out.Mispredicted {
+		t.Fatal("matched return mispredicted")
+	}
+	// A return with an empty stack mispredicts.
+	out = ps.Resolve(ret, &m)
+	if !out.Mispredicted {
+		t.Fatal("underflowed return predicted")
+	}
+	if m.RetExec != 2 || m.RetMiss != 1 {
+		t.Fatalf("ret counters: %d/%d", m.RetMiss, m.RetExec)
+	}
+}
+
+func TestPredictorSetIndirect(t *testing.T) {
+	ps := NewPredictorSet()
+	var m Metrics
+	r := mkRec(0x100, isa.IndirectJump, 1, true, 0xA00)
+	if out := ps.Resolve(r, &m); !out.Mispredicted {
+		t.Fatal("cold indirect predicted")
+	}
+	if out := ps.Resolve(r, &m); out.Mispredicted {
+		t.Fatal("repeated indirect target mispredicted")
+	}
+	if m.IndExec != 2 || m.IndMiss != 1 {
+		t.Fatalf("ind counters: %d/%d", m.IndMiss, m.IndExec)
+	}
+}
+
+func TestPredictorSetSeqIsFree(t *testing.T) {
+	ps := NewPredictorSet()
+	var m Metrics
+	out := ps.Resolve(mkRec(0x100, isa.Seq, 2, false, 0), &m)
+	if out.Mispredicted || m.CondExec != 0 {
+		t.Fatal("sequential record affected prediction state")
+	}
+}
+
+func TestICPathGroups(t *testing.T) {
+	cfg := DefaultConfig()
+	path := NewICPath(cfg, cachesim.Config{Sets: 64, Ways: 2, LineBytes: 32})
+	// Four 2-uop insts, same line: one group of 4 (8 uops = width).
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.Seq, 2, false, 0),
+		mkRec(0x108, isa.Seq, 2, false, 0),
+		mkRec(0x10c, isa.Seq, 2, false, 0),
+		mkRec(0x110, isa.Seq, 2, false, 0),
+	}
+	g := path.FetchGroup(recs, 0)
+	if g.N != cfg.BuildInstsPerCycle || g.Uops != cfg.BuildUopsPerCycle {
+		t.Fatalf("group = %+v, want %d insts / %d uops", g, cfg.BuildInstsPerCycle, cfg.BuildUopsPerCycle)
+	}
+	if g.Stall == 0 {
+		t.Fatal("cold IC access had no stall")
+	}
+	g2 := path.FetchGroup(recs, 4)
+	if g2.Stall != 0 {
+		t.Fatalf("warm same-line access stalled: %+v", g2)
+	}
+}
+
+func TestICPathStopsAtLineBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	path := NewICPath(cfg, cachesim.Config{Sets: 64, Ways: 2, LineBytes: 16})
+	recs := []trace.Rec{
+		mkRec(0x10c, isa.Seq, 1, false, 0), // line 0x100..0x10f
+		mkRec(0x110, isa.Seq, 1, false, 0), // next line
+	}
+	g := path.FetchGroup(recs, 0)
+	if g.N != 1 {
+		t.Fatalf("group crossed a line boundary: %+v", g)
+	}
+}
+
+func TestICPathStopsAfterTakenTransfer(t *testing.T) {
+	cfg := DefaultConfig()
+	path := NewICPath(cfg, cachesim.Config{Sets: 64, Ways: 2, LineBytes: 64})
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Jump, 1, true, 0x110),
+		mkRec(0x110, isa.Seq, 1, false, 0),
+	}
+	g := path.FetchGroup(recs, 0)
+	if g.N != 1 {
+		t.Fatalf("group continued past a taken transfer: %+v", g)
+	}
+	// A not-taken branch does not stop the group.
+	recs2 := []trace.Rec{
+		mkRec(0x200, isa.CondBranch, 1, false, 0),
+		mkRec(0x204, isa.Seq, 1, false, 0),
+	}
+	g2 := path.FetchGroup(recs2, 0)
+	if g2.N != 2 {
+		t.Fatalf("not-taken branch ended the group: %+v", g2)
+	}
+}
+
+func TestICPathMissRate(t *testing.T) {
+	path := NewICPath(DefaultConfig(), DefaultICConfig())
+	if path.MissRate() != 0 {
+		t.Fatal("empty path has a miss rate")
+	}
+	recs := []trace.Rec{mkRec(0x100, isa.Seq, 1, false, 0)}
+	path.FetchGroup(recs, 0)
+	if path.MissRate() != 100 {
+		t.Fatalf("single cold access miss rate = %v", path.MissRate())
+	}
+}
+
+func TestPhases(t *testing.T) {
+	m := Metrics{
+		DeliveredUops:   800,
+		DeliveryFetches: 100,
+		BuildCycles:     60,
+		PenaltyCycles:   40,
+		DeliveryPenalty: 10,
+	}
+	m.Finalize(DefaultConfig())
+	// DeliveryCycles = max(100, 100) + 10 = 110; total = 110+60+40 = 210.
+	p := m.Phases()
+	sum := p.SteadyPct + p.TransitionPct + p.StallPct
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("phases sum to %.2f", sum)
+	}
+	if p.SteadyPct < p.TransitionPct {
+		t.Fatalf("steady %.1f should dominate transition %.1f here", p.SteadyPct, p.TransitionPct)
+	}
+	if (Metrics{}).Phases() != (PhaseBreakdown{}) {
+		t.Fatal("empty metrics phases not zero")
+	}
+}

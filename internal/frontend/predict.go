@@ -1,0 +1,102 @@
+package frontend
+
+import (
+	"xbc/internal/bpred"
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+// PredictorSet bundles the prediction structures a frontend steers with:
+// a direction predictor (GSHARE in the paper's evaluation), a BTB for
+// direct targets, a return stack, and an indirect-target predictor. The
+// XBC names these XBP, XBTB-target-fields, XRSB and XiBTB; the mechanics
+// are the same and the paper uses the same GSHARE for XBC and TC.
+type PredictorSet struct {
+	Dir bpred.DirPredictor
+	BTB *bpred.BTB
+	RAS *bpred.RAS
+	Ind *bpred.IndirectPredictor
+}
+
+// NewPredictorSet returns the paper's configuration: 16-bit-history
+// GSHARE, 2K-entry 4-way BTB, 16-deep return stack, 512-entry indirect
+// predictor with a short path history.
+func NewPredictorSet() *PredictorSet {
+	return &PredictorSet{
+		Dir: bpred.NewGshare(16),
+		BTB: bpred.NewBTB(512, 4),
+		RAS: bpred.NewRAS(16),
+		Ind: bpred.NewIndirectPredictor(9, 6),
+	}
+}
+
+// Outcome describes how the predictors fared on one control-flow
+// instruction.
+type Outcome struct {
+	Mispredicted bool
+	// PredictedTaken is the direction guess for conditional branches
+	// (meaningless for other classes).
+	PredictedTaken bool
+}
+
+// Resolve predicts the control-flow record r, trains all structures with
+// the committed outcome, and reports whether fetch would have been
+// re-steered. Sequential records pass through untouched.
+func (ps *PredictorSet) Resolve(r trace.Rec, m *Metrics) Outcome {
+	switch r.Class {
+	case isa.Seq:
+		return Outcome{}
+	case isa.CondBranch:
+		m.CondExec++
+		pred := ps.Dir.Predict(r.IP)
+		ps.Dir.Update(r.IP, r.Taken)
+		mis := pred != r.Taken
+		if !mis && r.Taken {
+			// Direction right; the target must come from the BTB.
+			if e, ok := ps.BTB.Lookup(r.IP); !ok || e.Target != r.Next {
+				mis = true
+			}
+		}
+		if r.Taken {
+			ps.BTB.Insert(r.IP, r.Next, r.Class)
+		}
+		if mis {
+			m.CondMiss++
+		}
+		return Outcome{Mispredicted: mis, PredictedTaken: pred}
+	case isa.Jump, isa.Call:
+		mis := false
+		if e, ok := ps.BTB.Lookup(r.IP); !ok || e.Target != r.Next {
+			mis = true
+		}
+		ps.BTB.Insert(r.IP, r.Next, r.Class)
+		if r.Class == isa.Call {
+			ps.RAS.Push(r.FallThrough())
+		}
+		// Unconditional direct transfers misfetch only on a cold/evicted
+		// BTB entry; they are not counted as branch mispredictions.
+		return Outcome{Mispredicted: mis, PredictedTaken: true}
+	case isa.IndirectJump, isa.IndirectCall:
+		m.IndExec++
+		t, ok := ps.Ind.Predict(r.IP)
+		mis := !ok || t != r.Next
+		ps.Ind.Update(r.IP, r.Next)
+		if r.Class == isa.IndirectCall {
+			ps.RAS.Push(r.FallThrough())
+		}
+		if mis {
+			m.IndMiss++
+		}
+		return Outcome{Mispredicted: mis, PredictedTaken: true}
+	case isa.Return:
+		m.RetExec++
+		t, ok := ps.RAS.Pop()
+		mis := !ok || t != r.Next
+		if mis {
+			m.RetMiss++
+		}
+		return Outcome{Mispredicted: mis, PredictedTaken: true}
+	default:
+		return Outcome{}
+	}
+}

@@ -1,0 +1,88 @@
+// Package icfe implements the baseline instruction-cache frontend of
+// section 2.1 of the paper: a conventional fetch unit that reads one run
+// of consecutive instructions per cycle from a set-associative instruction
+// cache and pushes them through a variable-length decoder.
+//
+// Its bandwidth is limited to one basic-block-sized run per cycle and its
+// latency includes decode; the paper's point is that both the TC and the
+// XBC beat it. In the comparison metrics, everything the IC frontend
+// supplies counts as "delivered" (it has no build/delivery distinction) so
+// its bandwidth is directly comparable with the others'.
+package icfe
+
+import (
+	"fmt"
+
+	"xbc/internal/cachesim"
+	"xbc/internal/frontend"
+	"xbc/internal/trace"
+)
+
+// Frontend is the instruction-cache fetch model. With Ports > 1 it
+// models the multiple-branch-prediction proposals of [Yeh93, Cont95,
+// Sezn96] the paper cites in section 2.1: a multi-ported IC supplying up
+// to Ports consecutive runs per cycle, one branch prediction each.
+type Frontend struct {
+	cfg   frontend.Config
+	icCfg cachesim.Config
+	ports int
+}
+
+// New returns a single-ported IC frontend with the given timing and
+// cache geometry.
+func New(cfg frontend.Config, icCfg cachesim.Config) *Frontend {
+	return &Frontend{cfg: cfg, icCfg: icCfg, ports: 1}
+}
+
+// NewMultiPorted returns an IC frontend fetching up to ports runs per
+// cycle ([Yeh93]-style).
+func NewMultiPorted(cfg frontend.Config, icCfg cachesim.Config, ports int) *Frontend {
+	if ports < 1 {
+		ports = 1
+	}
+	return &Frontend{cfg: cfg, icCfg: icCfg, ports: ports}
+}
+
+// Name identifies the model.
+func (f *Frontend) Name() string {
+	if f.ports > 1 {
+		return fmt.Sprintf("ic:%dport", f.ports)
+	}
+	return "ic"
+}
+
+// Run replays the stream through the IC fetch path.
+func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
+	var m frontend.Metrics
+	path := frontend.NewICPath(f.cfg, f.icCfg)
+	preds := frontend.NewPredictorSet()
+	recs := s.Recs
+	for i := 0; i < len(recs); {
+		// One fetch cycle: up to ports consecutive runs, stopped early by
+		// a misprediction (the re-steer wastes the remaining ports).
+		m.DeliveryFetches++
+		mispredicted := false
+		for p := 0; p < f.ports && i < len(recs) && !mispredicted; p++ {
+			g := path.FetchGroup(recs, i)
+			m.PenaltyCycles += uint64(g.Stall)
+			m.DeliveryPenalty += uint64(g.Stall)
+			m.DeliveredUops += uint64(g.Uops)
+			for k := 0; k < g.N; k++ {
+				r := recs[i+k]
+				m.Insts++
+				m.Uops += uint64(r.NumUops)
+				if out := preds.Resolve(r, &m); out.Mispredicted {
+					m.PenaltyCycles += uint64(f.cfg.MispredictPenalty)
+					m.DeliveryPenalty += uint64(f.cfg.MispredictPenalty)
+					mispredicted = true
+				}
+			}
+			i += g.N
+		}
+	}
+	m.AddExtra("ic_miss_rate", path.MissRate())
+	m.Finalize(f.cfg)
+	return m
+}
+
+var _ frontend.Frontend = (*Frontend)(nil)

@@ -1,0 +1,48 @@
+package trace
+
+import "fmt"
+
+// Interleave merges streams round-robin in quanta of roughly quantumUops
+// uops, modelling context switches between processes sharing one frontend
+// (the paper's traces record user and kernel activity mixed the same
+// way). Quantum boundaries land on instruction boundaries; the result is
+// NOT sequentially continuous across switches (Validate will reject it),
+// which is exactly the cache-polluting behaviour being modelled.
+//
+// The merge stops when any input runs dry, keeping the mix balanced.
+func Interleave(quantumUops int, streams ...*Stream) (*Stream, error) {
+	if quantumUops < 1 {
+		return nil, fmt.Errorf("trace: interleave quantum %d", quantumUops)
+	}
+	if len(streams) < 2 {
+		return nil, fmt.Errorf("trace: interleave needs at least 2 streams, got %d", len(streams))
+	}
+	name := ""
+	total := 0
+	for i, s := range streams {
+		if i > 0 {
+			name += "+"
+		}
+		name += s.Name
+		total += s.Len()
+	}
+	out := &Stream{Name: name, Recs: make([]Rec, 0, total)}
+	pos := make([]int, len(streams))
+	for {
+		for si, s := range streams {
+			if pos[si] >= len(s.Recs) {
+				return out, nil
+			}
+			uops := 0
+			for pos[si] < len(s.Recs) && uops < quantumUops {
+				r := s.Recs[pos[si]]
+				out.Recs = append(out.Recs, r)
+				uops += int(r.NumUops)
+				pos[si]++
+			}
+			if pos[si] >= len(s.Recs) {
+				return out, nil
+			}
+		}
+	}
+}

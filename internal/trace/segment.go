@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"xbc/internal/isa"
+	"xbc/internal/stats"
+)
+
+// This file implements the structural segmentation passes behind Figure 1
+// of the paper: cutting the dynamic uop stream into basic blocks, extended
+// blocks, promoted extended blocks, and dual extended blocks, all under the
+// 16-uop quota, and reporting their length distributions.
+
+// QuotaUops is the maximum block length used throughout the paper.
+const QuotaUops = 16
+
+// BlockKind selects a segmentation rule.
+type BlockKind int
+
+const (
+	// BasicBlock ends on any control-flow instruction ("ends with any
+	// jump" in the paper).
+	BasicBlock BlockKind = iota
+	// XB ends on conditional branches, indirect branches, returns and
+	// calls; unconditional direct jumps do not end it (section 3.1).
+	XB
+	// XBPromoted is XB segmentation where >=99%-monotonic conditional
+	// branches no longer cut (branch promotion, section 3.8).
+	XBPromoted
+	// DualXB pairs two consecutive XBs, still under the shared quota —
+	// the unit two predictions per cycle can fetch.
+	DualXB
+)
+
+// String names the segmentation rule.
+func (k BlockKind) String() string {
+	switch k {
+	case BasicBlock:
+		return "basic block"
+	case XB:
+		return "XB"
+	case XBPromoted:
+		return "XB+promotion"
+	case DualXB:
+		return "dual XB"
+	default:
+		return "unknown"
+	}
+}
+
+// BranchBias accumulates per-static-branch outcome statistics, used both by
+// the promoted segmentation below and by tests that validate the workload
+// generator's bias population.
+type BranchBias struct {
+	Taken map[isa.Addr]uint64
+	Total map[isa.Addr]uint64
+}
+
+// NewBranchBias returns an empty accumulator.
+func NewBranchBias() *BranchBias {
+	return &BranchBias{Taken: make(map[isa.Addr]uint64), Total: make(map[isa.Addr]uint64)}
+}
+
+// Observe records one conditional branch execution.
+func (b *BranchBias) Observe(ip isa.Addr, taken bool) {
+	b.Total[ip]++
+	if taken {
+		b.Taken[ip]++
+	}
+}
+
+// Monotonic reports whether the branch at ip is at least minBias biased
+// toward one direction over at least minSamples executions. The paper's
+// 7-bit counters promote at >=99.2% bias over a 128-execution window.
+func (b *BranchBias) Monotonic(ip isa.Addr, minBias float64, minSamples uint64) bool {
+	total := b.Total[ip]
+	if total < minSamples {
+		return false
+	}
+	taken := b.Taken[ip]
+	frac := float64(taken) / float64(total)
+	return frac >= minBias || 1-frac >= minBias
+}
+
+// MeasureBias scans a stream and accumulates outcome statistics for every
+// static conditional branch.
+func MeasureBias(s *Stream) *BranchBias {
+	b := NewBranchBias()
+	for _, r := range s.Recs {
+		if r.Class == isa.CondBranch {
+			b.Observe(r.IP, r.Taken)
+		}
+	}
+	return b
+}
+
+// SegmentLengths cuts the stream into blocks of the given kind under the
+// 16-uop quota and returns the histogram of block lengths in uops
+// (buckets 0..QuotaUops; bucket 0 is unused).
+//
+// For XBPromoted, bias must be non-nil (use MeasureBias); branches that are
+// >=99% monotonic over >=64 samples stop cutting, exactly the population
+// branch promotion would merge.
+func SegmentLengths(s *Stream, kind BlockKind, bias *BranchBias) *stats.Histogram {
+	h := stats.NewHistogram(QuotaUops + 1)
+	cur := 0
+	flush := func() {
+		if cur > 0 {
+			h.Add(cur)
+			cur = 0
+		}
+	}
+	endsBlock := func(r Rec) bool {
+		switch kind {
+		case BasicBlock:
+			return r.Class.EndsBasicBlock()
+		case XB, DualXB:
+			return r.Class.EndsXB()
+		case XBPromoted:
+			if !r.Class.EndsXB() {
+				return false
+			}
+			if r.Class == isa.CondBranch && bias != nil &&
+				bias.Monotonic(r.IP, 0.99, 64) {
+				return false // promoted: joined with the following XB
+			}
+			return true
+		default:
+			return r.Class.EndsBasicBlock()
+		}
+	}
+	if kind == DualXB {
+		return segmentDual(s, h)
+	}
+	for _, r := range s.Recs {
+		n := int(r.NumUops)
+		if cur+n > QuotaUops {
+			flush()
+		}
+		cur += n
+		if endsBlock(r) {
+			flush()
+		}
+	}
+	flush()
+	return h
+}
+
+// segmentDual measures the length of pairs of consecutive XBs under the
+// shared 16-uop quota: the unit a 2-prediction-per-cycle XBC frontend
+// fetches. Pairs are non-overlapping (XB1+XB2, XB3+XB4, ...).
+func segmentDual(s *Stream, h *stats.Histogram) *stats.Histogram {
+	// First cut into plain XBs (each individually quota-limited).
+	var xbLens []int
+	cur := 0
+	for _, r := range s.Recs {
+		n := int(r.NumUops)
+		if cur+n > QuotaUops {
+			xbLens = append(xbLens, cur)
+			cur = 0
+		}
+		cur += n
+		if r.Class.EndsXB() {
+			xbLens = append(xbLens, cur)
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		xbLens = append(xbLens, cur)
+	}
+	for i := 0; i+1 < len(xbLens); i += 2 {
+		pair := xbLens[i] + xbLens[i+1]
+		if pair > QuotaUops {
+			pair = QuotaUops
+		}
+		h.Add(pair)
+	}
+	return h
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"testing"
+
+	"xbc/internal/isa"
+	"xbc/internal/program"
+)
+
+// mkRec builds a simple record for hand-written stream fragments.
+func mkRec(ip isa.Addr, class isa.Class, uops int, taken bool, next isa.Addr) Rec {
+	r := Rec{IP: ip, Class: class, NumUops: uint8(uops), Size: 4, Taken: taken}
+	if next == 0 {
+		r.Next = r.FallThrough()
+	} else {
+		r.Next = next
+	}
+	return r
+}
+
+func TestSegmentBasicVsXB(t *testing.T) {
+	// Sequence: 2-uop seq, 1-uop jump (ends BB but NOT XB), 2-uop seq,
+	// 1-uop cond branch (ends both).
+	s := &Stream{Recs: []Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.Jump, 1, true, 0x200),
+		mkRec(0x200, isa.Seq, 2, false, 0),
+		mkRec(0x204, isa.CondBranch, 1, true, 0x300),
+	}}
+	bb := SegmentLengths(s, BasicBlock, nil)
+	if bb.Total() != 2 || bb.Count(3) != 2 {
+		t.Fatalf("basic blocks: total=%d count3=%d", bb.Total(), bb.Count(3))
+	}
+	xb := SegmentLengths(s, XB, nil)
+	if xb.Total() != 1 || xb.Count(6) != 1 {
+		t.Fatalf("XBs: total=%d count6=%d (jump must not cut)", xb.Total(), xb.Count(6))
+	}
+}
+
+func TestSegmentQuota(t *testing.T) {
+	// 5 sequential 4-uop instructions = 20 uops with no branch: the quota
+	// must cut at 16.
+	var recs []Rec
+	ip := isa.Addr(0x100)
+	for i := 0; i < 5; i++ {
+		r := mkRec(ip, isa.Seq, 4, false, 0)
+		recs = append(recs, r)
+		ip = r.FallThrough()
+	}
+	s := &Stream{Recs: recs}
+	h := SegmentLengths(s, XB, nil)
+	if h.Count(QuotaUops) != 1 || h.Count(4) != 1 || h.Total() != 2 {
+		t.Fatalf("quota segmentation wrong: 16s=%d 4s=%d total=%d",
+			h.Count(QuotaUops), h.Count(4), h.Total())
+	}
+}
+
+func TestSegmentConservation(t *testing.T) {
+	// Sum over the histogram (value*count) must equal the stream's uops
+	// for BB and XB segmentation.
+	spec := program.DefaultSpec("seg", 3)
+	spec.Functions = 40
+	s, err := Generate(spec, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BlockKind{BasicBlock, XB} {
+		h := SegmentLengths(s, kind, nil)
+		var sum uint64
+		for v := 0; v <= QuotaUops; v++ {
+			sum += uint64(v) * h.Count(v)
+		}
+		if sum != s.Uops() {
+			t.Fatalf("%v segmentation loses uops: %d vs %d", kind, sum, s.Uops())
+		}
+	}
+}
+
+func TestSegmentOrdering(t *testing.T) {
+	// The paper's Figure 1 ordering: mean(BB) <= mean(XB) <= mean(XB with
+	// promotion), and dual XBs are the longest.
+	spec := program.DefaultSpec("seg-ord", 4)
+	spec.Functions = 60
+	s, err := Generate(spec, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := MeasureBias(s)
+	bb := SegmentLengths(s, BasicBlock, nil).Mean()
+	xb := SegmentLengths(s, XB, nil).Mean()
+	xp := SegmentLengths(s, XBPromoted, bias).Mean()
+	dx := SegmentLengths(s, DualXB, nil).Mean()
+	if bb > xb+1e-9 {
+		t.Errorf("mean BB %.2f > mean XB %.2f", bb, xb)
+	}
+	if xb > xp+1e-9 {
+		t.Errorf("mean XB %.2f > mean XB+promotion %.2f", xb, xp)
+	}
+	if dx < xb {
+		t.Errorf("mean dual XB %.2f < mean XB %.2f", dx, xb)
+	}
+	if dx > float64(QuotaUops) {
+		t.Errorf("dual XB mean %.2f exceeds quota", dx)
+	}
+}
+
+func TestBranchBias(t *testing.T) {
+	b := NewBranchBias()
+	for i := 0; i < 100; i++ {
+		b.Observe(0x10, true)
+	}
+	b.Observe(0x10, false)
+	if !b.Monotonic(0x10, 0.99, 64) {
+		t.Fatal("100/101 taken should be monotonic at 99%")
+	}
+	if b.Monotonic(0x10, 0.999, 64) {
+		t.Fatal("100/101 taken should not pass 99.9%")
+	}
+	// Too few samples.
+	b.Observe(0x20, true)
+	if b.Monotonic(0x20, 0.5, 64) {
+		t.Fatal("1 sample passed a 64-sample minimum")
+	}
+	// Not-taken monotonic.
+	for i := 0; i < 200; i++ {
+		b.Observe(0x30, false)
+	}
+	if !b.Monotonic(0x30, 0.99, 64) {
+		t.Fatal("all-not-taken branch should be monotonic")
+	}
+}
+
+func TestPromotedSegmentationJoins(t *testing.T) {
+	// A monotonic branch sits between two short runs; with promotion the
+	// two XBs join.
+	var recs []Rec
+	for rep := 0; rep < 100; rep++ {
+		recs = append(recs,
+			mkRec(0x100, isa.Seq, 2, false, 0),
+			mkRec(0x104, isa.CondBranch, 1, false, 0), // never taken: monotonic NT
+			mkRec(0x108, isa.Seq, 2, false, 0),
+			// Alternating branch: NOT monotonic, so it still cuts.
+			mkRec(0x10c, isa.CondBranch, 1, rep%2 == 0, 0x100),
+		)
+	}
+	s := &Stream{Recs: recs}
+	bias := MeasureBias(s)
+	plain := SegmentLengths(s, XB, nil)
+	prom := SegmentLengths(s, XBPromoted, bias)
+	if plain.Mean() >= prom.Mean() {
+		t.Fatalf("promotion did not lengthen blocks: %.2f vs %.2f", plain.Mean(), prom.Mean())
+	}
+	if prom.Count(6) == 0 {
+		t.Fatal("expected joined 6-uop blocks under promotion")
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	names := map[BlockKind]string{
+		BasicBlock: "basic block", XB: "XB", XBPromoted: "XB+promotion",
+		DualXB: "dual XB", BlockKind(99): "unknown",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", k, got, want)
+		}
+	}
+}

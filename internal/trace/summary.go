@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"xbc/internal/isa"
+	"xbc/internal/stats"
+)
+
+// Summary is a structural profile of a dynamic stream: the numbers one
+// checks before trusting simulation results on it.
+type Summary struct {
+	Name  string
+	Insts uint64
+	Uops  uint64
+
+	ClassCounts [isa.NumClasses]uint64 // dynamic instruction mix
+	TakenCond   uint64                 // taken conditional branches
+
+	StaticInsts int    // distinct instruction addresses touched
+	StaticUops  uint64 // total uops of the touched instructions
+
+	UopsPerInst float64
+	CondEvery   float64 // dynamic instructions per conditional branch
+
+	XBLen *stats.Histogram // plain XB length distribution
+}
+
+// Summarize profiles the stream in one pass.
+func Summarize(s *Stream) Summary {
+	sum := Summary{Name: s.Name, XBLen: SegmentLengths(s, XB, nil)}
+	seen := make(map[isa.Addr]uint8, 1<<14)
+	for _, r := range s.Recs {
+		sum.Insts++
+		sum.Uops += uint64(r.NumUops)
+		sum.ClassCounts[r.Class]++
+		if r.Class == isa.CondBranch && r.Taken {
+			sum.TakenCond++
+		}
+		if _, ok := seen[r.IP]; !ok {
+			seen[r.IP] = r.NumUops
+		}
+	}
+	sum.StaticInsts = len(seen)
+	for _, n := range seen {
+		sum.StaticUops += uint64(n)
+	}
+	if sum.Insts > 0 {
+		sum.UopsPerInst = float64(sum.Uops) / float64(sum.Insts)
+	}
+	if c := sum.ClassCounts[isa.CondBranch]; c > 0 {
+		sum.CondEvery = float64(sum.Insts) / float64(c)
+	}
+	return sum
+}
+
+// ClassMix returns the dynamic fraction of the given class.
+func (s Summary) ClassMix(c isa.Class) float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.ClassCounts[c]) / float64(s.Insts)
+}
+
+// TakenRate returns the fraction of conditional branches that were taken.
+func (s Summary) TakenRate() float64 {
+	if c := s.ClassCounts[isa.CondBranch]; c > 0 {
+		return float64(s.TakenCond) / float64(c)
+	}
+	return 0
+}
+
+// String renders a compact human-readable profile.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d insts, %d uops (%.2f uops/inst), footprint %d insts / %d uops\n",
+		s.Name, s.Insts, s.Uops, s.UopsPerInst, s.StaticInsts, s.StaticUops)
+	fmt.Fprintf(&b, "  mix:")
+	for c := 0; c < isa.NumClasses; c++ {
+		if s.ClassCounts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%.1f%%", isa.Class(c), 100*s.ClassMix(isa.Class(c)))
+	}
+	fmt.Fprintf(&b, "\n  cond taken %.1f%%, one cond per %.1f insts, mean XB %.2f uops\n",
+		100*s.TakenRate(), s.CondEvery, s.XBLen.Mean())
+	return b.String()
+}

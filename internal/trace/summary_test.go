@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"xbc/internal/isa"
+	"xbc/internal/program"
+)
+
+func TestSummarize(t *testing.T) {
+	s := &Stream{Name: "sum", Recs: []Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.CondBranch, 1, true, 0x100),
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.CondBranch, 1, false, 0),
+	}}
+	sum := Summarize(s)
+	if sum.Insts != 4 || sum.Uops != 6 {
+		t.Fatalf("counts: %d/%d", sum.Insts, sum.Uops)
+	}
+	if sum.StaticInsts != 2 || sum.StaticUops != 3 {
+		t.Fatalf("footprint: %d insts / %d uops", sum.StaticInsts, sum.StaticUops)
+	}
+	if sum.ClassCounts[isa.CondBranch] != 2 || sum.TakenCond != 1 {
+		t.Fatalf("branch counts wrong")
+	}
+	if sum.TakenRate() != 0.5 {
+		t.Fatalf("taken rate %v", sum.TakenRate())
+	}
+	if sum.CondEvery != 2 {
+		t.Fatalf("cond every %v", sum.CondEvery)
+	}
+	if sum.ClassMix(isa.Seq) != 0.5 {
+		t.Fatalf("mix %v", sum.ClassMix(isa.Seq))
+	}
+	if out := sum.String(); !strings.Contains(out, "uops/inst") || !strings.Contains(out, "jcc") {
+		t.Errorf("summary render: %q", out)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum := Summarize(&Stream{Name: "empty"})
+	if sum.Insts != 0 || sum.UopsPerInst != 0 || sum.TakenRate() != 0 || sum.ClassMix(isa.Seq) != 0 {
+		t.Fatal("empty stream summary not zeroed")
+	}
+}
+
+func TestSummarizeRealStream(t *testing.T) {
+	spec := program.DefaultSpec("sum-real", 7)
+	spec.Functions = 40
+	s, err := Generate(spec, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(s)
+	if sum.Uops != s.Uops() {
+		t.Fatalf("uop count mismatch")
+	}
+	if sum.UopsPerInst < 1 || sum.UopsPerInst > float64(isa.MaxUopsPerInst) {
+		t.Fatalf("uops/inst %v", sum.UopsPerInst)
+	}
+	if sum.XBLen.Mean() <= 0 || sum.XBLen.Mean() > float64(QuotaUops) {
+		t.Fatalf("XB mean %v", sum.XBLen.Mean())
+	}
+	// Every dynamic class count consistent with the mix accessor.
+	var mix float64
+	for c := 0; c < isa.NumClasses; c++ {
+		mix += sum.ClassMix(isa.Class(c))
+	}
+	if mix < 0.999 || mix > 1.001 {
+		t.Fatalf("class mix sums to %v", mix)
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	// A stream looping over 8 distinct 1-uop instructions: every window
+	// of >= 8 uops touches exactly 8 uops.
+	s := &Stream{Name: "ws"}
+	for rep := 0; rep < 100; rep++ {
+		ip := isa.Addr(0x100)
+		for i := 0; i < 8; i++ {
+			r := mkRec(ip, isa.Seq, 1, false, 0)
+			s.Recs = append(s.Recs, r)
+			ip = r.FallThrough()
+		}
+	}
+	pts := WorkingSet(s, 8, 80, 800)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeanUops != 8 || p.MaxUops != 8 {
+			t.Fatalf("window %d: mean=%v max=%v, want 8", p.WindowUops, p.MeanUops, p.MaxUops)
+		}
+	}
+	// Zero/negative windows are skipped.
+	if got := WorkingSet(s, 0, -5); len(got) != 0 {
+		t.Fatalf("invalid windows produced points: %v", got)
+	}
+}
+
+func TestWorkingSetGrowsWithWindow(t *testing.T) {
+	spec := program.DefaultSpec("ws-real", 9)
+	spec.Functions = 40
+	s, err := Generate(spec, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := WorkingSet(s, 1024, 16384, 65536)
+	if !(pts[0].MeanUops <= pts[1].MeanUops && pts[1].MeanUops <= pts[2].MeanUops) {
+		t.Fatalf("working set not monotone in window: %+v", pts)
+	}
+}

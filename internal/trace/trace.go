@@ -1,0 +1,128 @@
+// Package trace defines the dynamic instruction stream format consumed by
+// every frontend simulator, generation of streams from synthetic programs,
+// a compact binary serialization (.xtr), and the structural segmentation
+// passes behind the paper's Figure 1.
+//
+// The paper's simulator is trace-driven: the stream of committed
+// instructions is the oracle; frontends replay it, consulting predictors to
+// model fetch. A Rec carries exactly what the paper's traces carry per
+// instruction: address, class, uop count, dynamic outcome and successor.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"xbc/internal/isa"
+	"xbc/internal/program"
+)
+
+// Rec is one dynamic instruction record.
+type Rec struct {
+	IP      isa.Addr  // instruction address
+	Next    isa.Addr  // address of the dynamically next instruction
+	Class   isa.Class // control-flow class
+	NumUops uint8     // decoded uop count (1..isa.MaxUopsPerInst)
+	Size    uint8     // instruction length in bytes
+	Taken   bool      // conditional outcome (true for unconditional transfers)
+}
+
+// FallThrough returns the address of the sequentially next instruction.
+func (r Rec) FallThrough() isa.Addr { return r.IP + isa.Addr(r.Size) }
+
+// Reader yields dynamic instruction records; io.EOF ends the stream.
+type Reader interface {
+	Read() (Rec, error)
+}
+
+// Stream is an in-memory trace, replayable any number of times.
+type Stream struct {
+	Name string
+	Recs []Rec
+	pos  int
+}
+
+// Read returns the next record or io.EOF.
+func (s *Stream) Read() (Rec, error) {
+	if s.pos >= len(s.Recs) {
+		return Rec{}, io.EOF
+	}
+	r := s.Recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *Stream) Reset() { s.pos = 0 }
+
+// Len returns the number of records.
+func (s *Stream) Len() int { return len(s.Recs) }
+
+// Uops returns the total dynamic uop count of the stream.
+func (s *Stream) Uops() uint64 {
+	var n uint64
+	for _, r := range s.Recs {
+		n += uint64(r.NumUops)
+	}
+	return n
+}
+
+// Validate checks stream invariants: every record well formed, and each
+// record's Next matching the following record's IP (stream continuity).
+func (s *Stream) Validate() error {
+	for i, r := range s.Recs {
+		if r.NumUops == 0 || r.NumUops > isa.MaxUopsPerInst {
+			return fmt.Errorf("trace %q: rec %d has %d uops", s.Name, i, r.NumUops)
+		}
+		if i+1 < len(s.Recs) && r.Next != s.Recs[i+1].IP {
+			return fmt.Errorf("trace %q: rec %d Next=%#x but rec %d IP=%#x", s.Name, i, r.Next, i+1, s.Recs[i+1].IP)
+		}
+		if r.Class == isa.Seq && r.Next != r.FallThrough() {
+			return fmt.Errorf("trace %q: rec %d sequential but Next != fallthrough", s.Name, i)
+		}
+		if r.Class == isa.CondBranch && !r.Taken && r.Next != r.FallThrough() {
+			return fmt.Errorf("trace %q: rec %d not-taken branch but Next != fallthrough", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// FromDyn converts a walker output record to a trace record.
+func FromDyn(d program.DynInst) Rec {
+	return Rec{
+		IP:      d.Inst.IP,
+		Next:    d.NextIP,
+		Class:   d.Inst.Class,
+		NumUops: d.Inst.NumUops,
+		Size:    d.Inst.Size,
+		Taken:   d.Taken,
+	}
+}
+
+// Generate builds the program described by spec and walks it until at
+// least minUops dynamic uops have been produced, returning the stream.
+func Generate(spec program.Spec, minUops uint64) (*Stream, error) {
+	p, err := program.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateFrom(p, minUops), nil
+}
+
+// GenerateFrom walks an already-built program until at least minUops
+// dynamic uops have been produced.
+func GenerateFrom(p *Program, minUops uint64) *Stream {
+	w := program.NewWalker(p)
+	s := &Stream{Name: p.Spec.Name}
+	var uops uint64
+	for uops < minUops {
+		d := w.Next()
+		uops += uint64(d.Inst.NumUops)
+		s.Recs = append(s.Recs, FromDyn(d))
+	}
+	return s
+}
+
+// Program aliases program.Program so cmd-level callers can use this package
+// as their single entry point for stream generation.
+type Program = program.Program

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xbc/internal/isa"
+	"xbc/internal/program"
+)
+
+func testStream(t *testing.T, seed int64, uops uint64) *Stream {
+	t.Helper()
+	spec := program.DefaultSpec("trace-test", seed)
+	spec.Functions = 40
+	s, err := Generate(spec, uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testStream(t, 5, 50_000)
+	b := testStream(t, 5, 50_000)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Recs {
+		if a.Recs[i] != b.Recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMeetsUopTarget(t *testing.T) {
+	s := testStream(t, 6, 30_000)
+	if got := s.Uops(); got < 30_000 {
+		t.Fatalf("stream has %d uops, want >= 30000", got)
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	s := testStream(t, 7, 50_000)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Break continuity and check detection.
+	bad := &Stream{Name: "bad", Recs: append([]Rec(nil), s.Recs[:10]...)}
+	bad.Recs[4].Next += 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("continuity violation not detected")
+	}
+}
+
+func TestStreamReadReset(t *testing.T) {
+	s := testStream(t, 8, 5_000)
+	var n int
+	for {
+		_, err := s.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != s.Len() {
+		t.Fatalf("read %d records, stream has %d", n, s.Len())
+	}
+	s.Reset()
+	if _, err := s.Read(); err != nil {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	s := testStream(t, 9, 40_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Len() != s.Len() {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", got.Name, got.Len(), s.Name, s.Len())
+	}
+	for i := range s.Recs {
+		if got.Recs[i] != s.Recs[i] {
+			t.Fatalf("record %d corrupted: %+v vs %+v", i, got.Recs[i], s.Recs[i])
+		}
+	}
+}
+
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%500) + 1
+		s := &Stream{Name: "prop"}
+		ip := isa.Addr(0x1000)
+		for i := 0; i < count; i++ {
+			size := uint8(1 + rng.Intn(8))
+			r := Rec{
+				IP:      ip,
+				Class:   isa.Class(rng.Intn(isa.NumClasses)),
+				NumUops: uint8(1 + rng.Intn(isa.MaxUopsPerInst)),
+				Size:    size,
+				Taken:   rng.Intn(2) == 0,
+			}
+			if r.Class == isa.Seq {
+				r.Taken = false
+				r.Next = r.FallThrough()
+			} else if r.Taken {
+				r.Next = isa.Addr(0x1000 + rng.Intn(1<<20))
+			} else {
+				r.Next = r.FallThrough()
+			}
+			s.Recs = append(s.Recs, r)
+			ip = r.Next
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Len() != s.Len() {
+			return false
+		}
+		for i := range s.Recs {
+			if got.Recs[i] != s.Recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("XT"))); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Valid magic, truncated body.
+	s := testStream(t, 10, 2_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

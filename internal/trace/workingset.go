@@ -1,0 +1,56 @@
+package trace
+
+import "xbc/internal/isa"
+
+// WorkingSetPoint is one window of the working-set curve.
+type WorkingSetPoint struct {
+	WindowUops int // window size this point was measured with
+	MeanUops   float64
+	MaxUops    int
+}
+
+// WorkingSet measures the dynamic code working set: for each window size,
+// the stream is split into consecutive windows of that many uops and the
+// distinct uops touched per window are counted. The curve tells which
+// cache sizes a workload pressures — the calibration behind Figure 9's
+// capacity sweep.
+func WorkingSet(s *Stream, windows ...int) []WorkingSetPoint {
+	out := make([]WorkingSetPoint, 0, len(windows))
+	for _, win := range windows {
+		if win < 1 {
+			continue
+		}
+		seen := make(map[isa.Addr]uint8, 1<<12)
+		uopsInWin := 0
+		var sums, count, max int
+		flush := func() {
+			u := 0
+			for _, n := range seen {
+				u += int(n)
+			}
+			sums += u
+			count++
+			if u > max {
+				max = u
+			}
+			clear(seen)
+			uopsInWin = 0
+		}
+		for _, r := range s.Recs {
+			seen[r.IP] = r.NumUops
+			uopsInWin += int(r.NumUops)
+			if uopsInWin >= win {
+				flush()
+			}
+		}
+		if uopsInWin > 0 {
+			flush()
+		}
+		p := WorkingSetPoint{WindowUops: win, MaxUops: max}
+		if count > 0 {
+			p.MeanUops = float64(sums) / float64(count)
+		}
+		out = append(out, p)
+	}
+	return out
+}

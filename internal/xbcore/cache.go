@@ -1,0 +1,401 @@
+package xbcore
+
+import (
+	"xbc/internal/isa"
+)
+
+// This file implements the XBC storage: the physical banked data array
+// (sections 3.2 and 3.10) and the logical extended-block layer on top of
+// it (variants, chunk sharing, the XFU insert cases of section 3.3).
+//
+// Physical model: each set has Banks x Ways lines of BankUops uop slots.
+// A stored XB occupies one line per "order": order 0 (the primary line)
+// holds the last BankUops uops, order 1 the preceding ones, and so on —
+// the reverse-order storage of section 3.4, which lets a block grow at its
+// head without moving anything or changing its identity.
+//
+// Logical model: an entry (keyed by the XB's ending address) owns one or
+// more variants — distinct uop sequences sharing that ending address (the
+// paper's complex XBs). A variant records its uop sequence from the end
+// (rseq) and, per order, which line it believes holds that chunk. Lines
+// are shared between variants whenever the chunk content is identical,
+// which is what makes the XBC (nearly) redundancy-free. Eviction never
+// chases pointers: a variant discovers damage lazily when a fetch finds a
+// line no longer matching, and set search (section 3.9) repairs the
+// reference if the chunk was merely re-placed.
+
+// line is one physical bank line.
+type line struct {
+	valid bool
+	endIP isa.Addr
+	order uint8
+	count uint8
+	uops  []isa.UopID // count uops in reverse order; capacity = BankUops
+	stamp uint64
+}
+
+func (l *line) matches(endIP isa.Addr, order int, chunk []isa.UopID) bool {
+	if !l.valid || l.endIP != endIP || int(l.order) != order || int(l.count) != len(chunk) {
+		return false
+	}
+	for i, u := range chunk {
+		if l.uops[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// lineRef locates a line within a known set.
+type lineRef struct {
+	bank int8
+	way  int8
+}
+
+// variant is one logical XB: a uop sequence ending at the entry's address.
+type variant struct {
+	id        uint32
+	rseq      []isa.UopID // uops from the end (reverse program order)
+	refs      []lineRef   // per order, the believed line location
+	conflicts int         // dynamic-placement pressure counter
+}
+
+// orders returns how many lines the variant spans.
+func (v *variant) orders(bankUops int) int {
+	return (len(v.rseq) + bankUops - 1) / bankUops
+}
+
+// chunk returns the uops of the given order (reverse order slice).
+func (v *variant) chunk(order, bankUops int) []isa.UopID {
+	lo := order * bankUops
+	hi := lo + bankUops
+	if hi > len(v.rseq) {
+		hi = len(v.rseq)
+	}
+	return v.rseq[lo:hi]
+}
+
+// entry groups the variants sharing one ending address.
+type entry struct {
+	endIP    isa.Addr
+	variants []*variant
+	nextID   uint32
+}
+
+func (e *entry) variantByID(id uint32) *variant {
+	for _, v := range e.variants {
+		if v.id == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// Cache is the XBC data array plus the logical XB layer.
+type Cache struct {
+	cfg     Config
+	lines   []line // sets * banks * ways
+	entries map[isa.Addr]*entry
+	tick    uint64
+
+	// Statistics.
+	Allocs       uint64
+	Evictions    uint64
+	Shares       uint64 // chunk allocations satisfied by an existing line
+	SetSearches  uint64 // successful set-search repairs
+	ComplexXBs   uint64 // case-3 inserts
+	Extensions   uint64 // case-2 inserts
+	Containments uint64 // case-1 inserts
+	Replacements uint64 // dynamic-placement line moves
+}
+
+// NewCache builds an empty XBC.
+func NewCache(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:     cfg,
+		lines:   make([]line, cfg.Sets*cfg.Banks*cfg.Ways),
+		entries: make(map[isa.Addr]*entry),
+	}, nil
+}
+
+// setOf derives the set index from a XB ending address.
+func (c *Cache) setOf(endIP isa.Addr) int {
+	return int(uint64(endIP>>1) & uint64(c.cfg.Sets-1))
+}
+
+// lineAt returns the physical line for (set, bank, way).
+func (c *Cache) lineAt(set, bank, way int) *line {
+	return &c.lines[(set*c.cfg.Banks+bank)*c.cfg.Ways+way]
+}
+
+// stampFor biases LRU stamps so that within one access the head-most
+// (highest-order) lines age first — the head-line eviction preference of
+// section 3.10.
+func (c *Cache) stampFor(order int) uint64 {
+	return c.tick<<3 + uint64(7-order)
+}
+
+// findLine scans the set for a line holding the given chunk identity,
+// skipping banks in excludeBanks (a variant's chunks must sit in distinct
+// banks, and duplicate chunk copies can exist in several banks).
+func (c *Cache) findLine(set int, endIP isa.Addr, order int, chunk []isa.UopID, excludeBanks uint) (lineRef, bool) {
+	for b := 0; b < c.cfg.Banks; b++ {
+		if excludeBanks&(1<<uint(b)) != 0 {
+			continue
+		}
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.lineAt(set, b, w).matches(endIP, order, chunk) {
+				return lineRef{bank: int8(b), way: int8(w)}, true
+			}
+		}
+	}
+	return lineRef{}, false
+}
+
+// ensureChunk makes the chunk resident: it shares an existing identical
+// line when possible, otherwise allocates one. usedBanks are the banks the
+// same variant already occupies (a XB must spread over distinct banks so
+// it can be fetched in one cycle); avoidBanks are banks to dodge for
+// bank-conflict reasons (smart placement). Returns the line location.
+func (c *Cache) ensureChunk(set int, endIP isa.Addr, order int, chunk []isa.UopID, usedBanks, avoidBanks uint, share bool) (lineRef, uint) {
+	if ref, ok := c.findLine(set, endIP, order, chunk, usedBanks); ok && share {
+		// Shared with an existing variant — the redundancy-free property.
+		// (Copies in banks this variant already uses are skipped; if none
+		// remains, a second copy is placed, a rare bounded redundancy at
+		// chunk granularity.)
+		c.Shares++
+		return ref, usedBanks | 1<<uint(ref.bank)
+	}
+	ref := c.pickVictim(set, usedBanks, avoidBanks)
+	ln := c.lineAt(set, int(ref.bank), int(ref.way))
+	if ln.valid {
+		c.Evictions++
+	}
+	c.Allocs++
+	c.tick++
+	buf := append(ln.uops[:0], chunk...)
+	*ln = line{valid: true, endIP: endIP, order: uint8(order), count: uint8(len(chunk)), stamp: c.stampFor(order), uops: buf}
+	return ref, usedBanks | 1<<uint(ref.bank)
+}
+
+// pickVictim chooses where to place a new chunk: banks not in usedBanks
+// (hard constraint), preferring invalid ways, then banks outside
+// avoidBanks (smart placement), then global LRU.
+func (c *Cache) pickVictim(set int, usedBanks, avoidBanks uint) lineRef {
+	best := lineRef{bank: -1}
+	bestScore := ^uint64(0)
+	considered := false
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < c.cfg.Banks; b++ {
+			if usedBanks&(1<<uint(b)) != 0 {
+				continue
+			}
+			if c.cfg.SmartPlacement && pass == 0 && avoidBanks&(1<<uint(b)) != 0 {
+				continue
+			}
+			for w := 0; w < c.cfg.Ways; w++ {
+				ln := c.lineAt(set, b, w)
+				score := ln.stamp
+				if !ln.valid {
+					score = 0
+				}
+				if !considered || score < bestScore {
+					best = lineRef{bank: int8(b), way: int8(w)}
+					bestScore = score
+					considered = true
+				}
+			}
+		}
+		if considered || !c.cfg.SmartPlacement {
+			break
+		}
+		// All non-used banks were in avoidBanks; retry without avoidance.
+	}
+	if best.bank < 0 {
+		// A XB wider than the bank count would hit this; geometry
+		// validation (quota == banks*bankUops) makes it unreachable.
+		panic("xbcore: no bank available for placement")
+	}
+	return best
+}
+
+// residentBanksFrom returns the bank mask of the variant's resident,
+// matching chunks with order >= fromOrder. Placement and repair of lower
+// orders must avoid these banks so the whole variant stays fetchable in
+// one cycle.
+func (c *Cache) residentBanksFrom(set int, endIP isa.Addr, v *variant, fromOrder int) uint {
+	banks := uint(0)
+	for o := fromOrder; o < v.orders(c.cfg.BankUops) && o < len(v.refs); o++ {
+		ref := v.refs[o]
+		if ref.bank < 0 {
+			continue
+		}
+		if c.lineAt(set, int(ref.bank), int(ref.way)).matches(endIP, o, v.chunk(o, c.cfg.BankUops)) {
+			banks |= 1 << uint(ref.bank)
+		}
+	}
+	return banks
+}
+
+// commonReversePrefix returns how many leading (from-the-end) uops two
+// sequences share.
+func commonReversePrefix(a, b []isa.UopID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// InsertKind reports which of section 3.3's cases an insert hit.
+type InsertKind int
+
+const (
+	InsertNew       InsertKind = iota // no tag match: fresh XB
+	InsertContained                   // case 1: existing XB contains the new one
+	InsertExtended                    // case 2: new XB extends an existing one at its head
+	InsertComplex                     // case 3: same suffix, different prefix
+)
+
+// String names the insert case.
+func (k InsertKind) String() string {
+	switch k {
+	case InsertNew:
+		return "new"
+	case InsertContained:
+		return "contained"
+	case InsertExtended:
+		return "extended"
+	case InsertComplex:
+		return "complex"
+	default:
+		return "unknown"
+	}
+}
+
+// Insert stores the XB with ending address endIP and reverse-order uop
+// sequence rseq, implementing the build algorithm of section 3.3. It
+// returns the variant the sequence now lives in, the insert case, and
+// whether every needed line was already resident (which is what allows the
+// frontend to switch back to delivery mode).
+func (c *Cache) Insert(endIP isa.Addr, rseq []isa.UopID, avoidBanks uint) (id uint32, kind InsertKind, wasResident bool) {
+	if len(rseq) == 0 || len(rseq) > c.cfg.Quota {
+		panic("xbcore: insert of empty or over-quota XB")
+	}
+	set := c.setOf(endIP)
+	e := c.entries[endIP]
+	if e == nil {
+		e = &entry{endIP: endIP}
+		c.entries[endIP] = e
+	}
+
+	// Look for a related variant.
+	var bestV *variant
+	bestCommon := 0
+	for _, v := range e.variants {
+		common := commonReversePrefix(rseq, v.rseq)
+		if common > bestCommon || (bestV == nil && common > 0) {
+			bestV, bestCommon = v, common
+		}
+	}
+
+	switch {
+	case bestV != nil && bestCommon == len(rseq) && len(bestV.rseq) >= len(rseq):
+		// Case 1: the existing XB contains (or equals) the new one. Only
+		// repair lines that were lost since.
+		c.Containments++
+		resident := c.materialize(set, e, bestV, len(rseq), avoidBanks, true)
+		return bestV.id, InsertContained, resident
+	case bestV != nil && bestCommon == len(bestV.rseq):
+		// Case 2: the new XB extends the existing one at its head. The
+		// reverse-order storage means nothing moves: rewrite the boundary
+		// chunk (it gains uops) and add head chunks.
+		c.Extensions++
+		bestV.rseq = append(bestV.rseq[:0], rseq...)
+		resident := c.materialize(set, e, bestV, len(rseq), avoidBanks, true)
+		_ = resident // extension always writes at least the boundary chunk
+		return bestV.id, InsertExtended, false
+	case bestV != nil && bestCommon > 0 && c.cfg.ComplexXB:
+		// Case 3: same suffix, different prefix — a complex XB. The new
+		// variant shares every full chunk inside the common suffix.
+		c.ComplexXBs++
+		v := c.newVariant(e, rseq)
+		c.materialize(set, e, v, len(rseq), avoidBanks, true)
+		return v.id, InsertComplex, false
+	default:
+		// Without complex-XB support, variants never share chunk lines,
+		// reintroducing (bounded) same-ending-address redundancy.
+		v := c.newVariant(e, rseq)
+		c.materialize(set, e, v, len(rseq), avoidBanks, c.cfg.ComplexXB)
+		return v.id, InsertNew, false
+	}
+}
+
+func (c *Cache) newVariant(e *entry, rseq []isa.UopID) *variant {
+	v := &variant{id: e.nextID, rseq: append([]isa.UopID(nil), rseq...)}
+	e.nextID++
+	e.variants = append(e.variants, v)
+	return v
+}
+
+// materialize ensures the first upTo uops of the variant are resident,
+// sharing or allocating lines chunk by chunk. It returns whether
+// everything was already resident (no allocation happened).
+func (c *Cache) materialize(set int, e *entry, v *variant, upTo int, avoidBanks uint, share bool) bool {
+	orders := (upTo + c.cfg.BankUops - 1) / c.cfg.BankUops
+	for len(v.refs) < v.orders(c.cfg.BankUops) {
+		v.refs = append(v.refs, lineRef{bank: -1})
+	}
+	// First pass: find which orders are already resident and which banks
+	// they pin. Resident chunks beyond the repaired range pin their banks
+	// too, so the variant never ends up with two chunks in one bank.
+	usedBanks := c.residentBanksFrom(set, e.endIP, v, orders)
+	resident := make([]bool, orders)
+	allResident := true
+	for o := 0; o < orders; o++ {
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref := v.refs[o]
+		if ref.bank >= 0 && usedBanks&(1<<uint(ref.bank)) == 0 &&
+			c.lineAt(set, int(ref.bank), int(ref.way)).matches(e.endIP, o, chunk) {
+			resident[o] = true
+			usedBanks |= 1 << uint(ref.bank)
+			continue
+		}
+		if fr, ok := c.findLine(set, e.endIP, o, chunk, usedBanks); ok && share {
+			v.refs[o] = fr
+			resident[o] = true
+			usedBanks |= 1 << uint(fr.bank)
+			c.Shares++
+			continue
+		}
+		allResident = false
+	}
+	if allResident {
+		// Refresh LRU so a rebuilt-but-resident XB stays warm.
+		c.tick++
+		for o := 0; o < orders; o++ {
+			ref := v.refs[o]
+			c.lineAt(set, int(ref.bank), int(ref.way)).stamp = c.stampFor(o)
+		}
+		return true
+	}
+	// Second pass: place the missing chunks.
+	for o := 0; o < orders; o++ {
+		if resident[o] {
+			continue
+		}
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref, nowUsed := c.ensureChunk(set, e.endIP, o, chunk, usedBanks, avoidBanks, share)
+		usedBanks = nowUsed
+		v.refs[o] = ref
+	}
+	return false
+}

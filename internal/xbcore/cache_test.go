@@ -1,0 +1,391 @@
+package xbcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xbc/internal/isa"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig(1024) // 16 sets
+	return c
+}
+
+// rseqFor builds a reverse-order uop sequence of n uops ending at endIP,
+// walking backward one 1-uop instruction per 4 bytes.
+func rseqFor(endIP isa.Addr, n int) []isa.UopID {
+	out := make([]isa.UopID, n)
+	ip := endIP
+	for i := 0; i < n; i++ {
+		out[i] = isa.Uop(ip, 0)
+		ip -= 4
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(32 * 1024).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Banks = 0 },
+		func(c *Config) { c.Sets = 3 },
+		func(c *Config) { c.Quota = 12 }, // != banks*bankUops
+		func(c *Config) { c.XBTBSets = 0 },
+		func(c *Config) { c.XBTBWays = 0 },
+		func(c *Config) { c.XRSBDepth = 0 },
+		func(c *Config) { c.PromoteHi, c.PromoteLo = 1, 126 },
+		func(c *Config) { c.DemoteSlack = 0 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig(32 * 1024)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	c := DefaultConfig(32 * 1024)
+	if c.UopCapacity() != 32*1024 {
+		t.Fatalf("capacity = %d", c.UopCapacity())
+	}
+	if c.MaxOrders() != 4 {
+		t.Fatalf("max orders = %d", c.MaxOrders())
+	}
+}
+
+func TestInsertNewAndFetch(t *testing.T) {
+	c, err := NewCache(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rseq := rseqFor(0x1000, 10)
+	id, kind, resident := c.Insert(0x1000, rseq, 0)
+	if kind != InsertNew || resident {
+		t.Fatalf("first insert: kind=%v resident=%v", kind, resident)
+	}
+	res := c.Fetch(0x1000, id, 10, rseq)
+	if !res.OK || res.Searched {
+		t.Fatalf("fetch failed: %+v", res)
+	}
+	// 10 uops = 3 chunks = 3 distinct banks.
+	banks := 0
+	for b := 0; b < 4; b++ {
+		if res.Banks&(1<<uint(b)) != 0 {
+			banks++
+		}
+	}
+	if banks != 3 {
+		t.Fatalf("bank count = %d, want 3", banks)
+	}
+}
+
+func TestInsertContained(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	long := rseqFor(0x1000, 12)
+	id1, _, _ := c.Insert(0x1000, long, 0)
+	// A shorter block with the same ending is contained (case 1).
+	short := rseqFor(0x1000, 5)
+	id2, kind, resident := c.Insert(0x1000, short, 0)
+	if kind != InsertContained || !resident || id1 != id2 {
+		t.Fatalf("containment: kind=%v resident=%v ids %d/%d", kind, resident, id1, id2)
+	}
+	// Entering at offset 5 supplies the suffix.
+	if res := c.Fetch(0x1000, id2, 5, short); !res.OK {
+		t.Fatal("mid-entry fetch failed")
+	}
+}
+
+func TestInsertExtended(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	short := rseqFor(0x1000, 5)
+	id1, _, _ := c.Insert(0x1000, short, 0)
+	long := rseqFor(0x1000, 12)
+	id2, kind, _ := c.Insert(0x1000, long, 0)
+	if kind != InsertExtended || id1 != id2 {
+		t.Fatalf("extension: kind=%v ids %d/%d", kind, id1, id2)
+	}
+	// Both the old short entry point and the new long one must work —
+	// reverse-order storage means extension never moves existing uops.
+	if res := c.Fetch(0x1000, id2, 5, short); !res.OK {
+		t.Fatal("old offset broken by extension")
+	}
+	if res := c.Fetch(0x1000, id2, 12, long); !res.OK {
+		t.Fatal("extended fetch failed")
+	}
+	if c.Extensions != 1 {
+		t.Fatalf("extension counter = %d", c.Extensions)
+	}
+}
+
+func TestInsertComplexSharesSuffix(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	// Two blocks ending at the same instruction with a shared 8-uop
+	// suffix but different prefixes (case 3).
+	suffix := rseqFor(0x1000, 8)
+	a := append(append([]isa.UopID{}, suffix...), isa.Uop(0x2000, 0), isa.Uop(0x2004, 0), isa.Uop(0x2008, 0), isa.Uop(0x200c, 0))
+	b := append(append([]isa.UopID{}, suffix...), isa.Uop(0x3000, 0), isa.Uop(0x3004, 0), isa.Uop(0x3008, 0), isa.Uop(0x300c, 0))
+	idA, kindA, _ := c.Insert(0x1000, a, 0)
+	idB, kindB, _ := c.Insert(0x1000, b, 0)
+	if kindA != InsertNew || kindB != InsertComplex || idA == idB {
+		t.Fatalf("complex insert: %v/%v ids %d/%d", kindA, kindB, idA, idB)
+	}
+	if c.Shares == 0 {
+		t.Fatal("suffix chunks were not shared")
+	}
+	if res := c.Fetch(0x1000, idA, 12, a); !res.OK {
+		t.Fatal("variant A broken")
+	}
+	if res := c.Fetch(0x1000, idB, 12, b); !res.OK {
+		t.Fatal("variant B broken")
+	}
+	// The shared suffix keeps redundancy low: 12+12 uops stored in at
+	// most 16 slots' worth of lines (8 shared + 2x4 prefixes).
+	if r := c.Redundancy(); r > 1.01 {
+		t.Fatalf("redundancy = %.3f, want ~1.0 (suffix shared)", r)
+	}
+}
+
+func TestComplexDisabledDuplicates(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ComplexXB = false
+	c, _ := NewCache(cfg)
+	suffix := rseqFor(0x1000, 8)
+	a := append(append([]isa.UopID{}, suffix...), isa.Uop(0x2000, 0))
+	b := append(append([]isa.UopID{}, suffix...), isa.Uop(0x3000, 0))
+	c.Insert(0x1000, a, 0)
+	_, kind, _ := c.Insert(0x1000, b, 0)
+	if kind == InsertComplex {
+		t.Fatal("complex insert with feature disabled")
+	}
+}
+
+func TestFetchContentMismatchMisses(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	rseq := rseqFor(0x1000, 6)
+	id, _, _ := c.Insert(0x1000, rseq, 0)
+	other := rseqFor(0x1000, 6)
+	other[3] = isa.Uop(0x9999, 0)
+	if res := c.Fetch(0x1000, id, 6, other); res.OK {
+		t.Fatal("fetch succeeded with mismatching committed path")
+	}
+}
+
+func TestFetchUnknownMisses(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	if res := c.Fetch(0x5000, 0, 4, rseqFor(0x5000, 4)); res.OK {
+		t.Fatal("phantom fetch")
+	}
+	rseq := rseqFor(0x1000, 4)
+	id, _, _ := c.Insert(0x1000, rseq, 0)
+	if res := c.Fetch(0x1000, id+7, 4, rseq); res.OK {
+		t.Fatal("wrong variant id fetched")
+	}
+	if res := c.Fetch(0x1000, id, 8, rseqFor(0x1000, 8)); res.OK {
+		t.Fatal("over-length fetch succeeded")
+	}
+}
+
+func TestEvictionBreaksAndSetSearchRepairs(t *testing.T) {
+	// Fill one set beyond capacity so lines get evicted; a later fetch of
+	// the evicted block must miss, while re-placed blocks are repaired by
+	// set search.
+	cfg := smallConfig() // 16 sets, 4 banks x 2 ways x 4 uops = 32 uops/set
+	c, _ := NewCache(cfg)
+	// All these blocks land in the same set: endIPs differing by
+	// sets*2 stride in the >>1 index domain.
+	stride := isa.Addr(cfg.Sets * 2)
+	base := isa.Addr(0x1000)
+	var ids []uint32
+	var seqs [][]isa.UopID
+	const blocks = 6 // 6 blocks x 8 uops = 48 uops > 32-uop set
+	for i := 0; i < blocks; i++ {
+		endIP := base + isa.Addr(i)*stride
+		rseq := rseqFor(endIP, 8)
+		id, _, _ := c.Insert(endIP, rseq, 0)
+		ids = append(ids, id)
+		seqs = append(seqs, rseq)
+	}
+	if c.Evictions == 0 {
+		t.Fatal("no evictions despite set overflow")
+	}
+	// At least one of the earliest blocks must now miss.
+	missed := false
+	for i := 0; i < blocks; i++ {
+		endIP := base + isa.Addr(i)*stride
+		if res := c.Fetch(endIP, ids[i], 8, seqs[i]); !res.OK {
+			missed = true
+		}
+	}
+	if !missed {
+		t.Fatal("capacity overflow but every block still fetchable")
+	}
+}
+
+func TestSetSearchDisabledMissesOnStaleRef(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SetSearch = false
+	c, _ := NewCache(cfg)
+	rseq := rseqFor(0x1000, 4)
+	id, _, _ := c.Insert(0x1000, rseq, 0)
+	// Corrupt the variant's ref to simulate a stale bank pointer while
+	// the line itself is still resident somewhere.
+	e := c.entries[0x1000]
+	v := e.variantByID(id)
+	orig := v.refs[0]
+	v.refs[0] = lineRef{bank: (orig.bank + 1) % 4, way: orig.way}
+	if res := c.Fetch(0x1000, id, 4, rseq); res.OK {
+		t.Fatal("stale ref fetch succeeded with set search disabled")
+	}
+	// With set search the same situation repairs.
+	cfg.SetSearch = true
+	c2, _ := NewCache(cfg)
+	id2, _, _ := c2.Insert(0x1000, rseq, 0)
+	e2 := c2.entries[0x1000]
+	v2 := e2.variantByID(id2)
+	orig2 := v2.refs[0]
+	v2.refs[0] = lineRef{bank: (orig2.bank + 1) % 4, way: orig2.way}
+	res := c2.Fetch(0x1000, id2, 4, rseq)
+	if !res.OK || !res.Searched {
+		t.Fatalf("set search did not repair: %+v", res)
+	}
+	if c2.SetSearches != 1 {
+		t.Fatalf("set search counter = %d", c2.SetSearches)
+	}
+}
+
+func TestDistinctBanksPerXB(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	rseq := rseqFor(0x2000, 16)
+	id, _, _ := c.Insert(0x2000, rseq, 0)
+	res := c.Fetch(0x2000, id, 16, rseq)
+	if !res.OK {
+		t.Fatal("16-uop fetch failed")
+	}
+	if res.Banks != 0xF {
+		t.Fatalf("16-uop XB must span all 4 banks, got mask %04b", res.Banks)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmartPlacementAvoidsBanks(t *testing.T) {
+	cfg := smallConfig()
+	c, _ := NewCache(cfg)
+	// Place a 4-uop XB while asking to avoid banks {0,1}: it must land in
+	// bank 2 or 3.
+	rseq := rseqFor(0x3000, 4)
+	id, _, _ := c.Insert(0x3000, rseq, 0b0011)
+	res := c.Fetch(0x3000, id, 4, rseq)
+	if !res.OK {
+		t.Fatal("fetch failed")
+	}
+	if res.Banks&0b0011 != 0 {
+		t.Fatalf("placement ignored avoid mask: %04b", res.Banks)
+	}
+}
+
+func TestNoteConflictReplaces(t *testing.T) {
+	cfg := smallConfig()
+	c, _ := NewCache(cfg)
+	rseq := rseqFor(0x4000, 4)
+	id, _, _ := c.Insert(0x4000, rseq, 0)
+	res := c.Fetch(0x4000, id, 4, rseq)
+	if !res.OK {
+		t.Fatal("setup fetch failed")
+	}
+	moved := false
+	for i := 0; i < 8 && !moved; i++ {
+		moved = c.NoteConflict(0x4000, id, 4, res.Banks)
+	}
+	if !moved {
+		t.Fatal("dynamic placement never moved the line")
+	}
+	res2 := c.Fetch(0x4000, id, 4, rseq)
+	if !res2.OK {
+		t.Fatal("fetch after re-placement failed")
+	}
+	if res2.Banks == res.Banks {
+		t.Fatal("re-placement did not change the bank")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := NewCache(smallConfig())
+		type stored struct {
+			endIP isa.Addr
+			id    uint32
+			rseq  []isa.UopID
+		}
+		var pool []stored
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(3) {
+			case 0, 1: // insert
+				endIP := isa.Addr(0x1000 + rng.Intn(64)*4)
+				n := 1 + rng.Intn(16)
+				rseq := rseqFor(endIP, n)
+				id, _, _ := c.Insert(endIP, rseq, uint(rng.Intn(16)))
+				pool = append(pool, stored{endIP, id, rseq})
+			default: // fetch something previously stored (may miss)
+				if len(pool) == 0 {
+					continue
+				}
+				s := pool[rng.Intn(len(pool))]
+				l := 1 + rng.Intn(len(s.rseq))
+				c.Fetch(s.endIP, s.id, l, s.rseq[:l])
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedundancyNearOneUnderSharedTraffic(t *testing.T) {
+	// Many same-suffix variants: chunk sharing must keep redundancy low.
+	c, _ := NewCache(DefaultConfig(4096))
+	suffix := rseqFor(0x8000, 12)
+	for i := 0; i < 8; i++ {
+		v := append(append([]isa.UopID{}, suffix...), isa.Uop(isa.Addr(0x9000+i*16), 0))
+		c.Insert(0x8000, v, 0)
+	}
+	if r := c.Redundancy(); r > 1.35 {
+		t.Fatalf("redundancy %.3f too high for shared-suffix traffic", r)
+	}
+}
+
+func TestFragmentationAndUtilization(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	if c.Fragmentation() != 0 || c.Utilization() != 0 {
+		t.Fatal("empty cache should report zero")
+	}
+	c.Insert(0x1000, rseqFor(0x1000, 3), 0) // one line, 3/4 slots
+	if f := c.Fragmentation(); f < 0.24 || f > 0.26 {
+		t.Fatalf("fragmentation = %v, want 0.25", f)
+	}
+	if u := c.Utilization(); u <= 0 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestInsertPanicsOnBadInput(t *testing.T) {
+	c, _ := NewCache(smallConfig())
+	for _, rseq := range [][]isa.UopID{nil, rseqFor(0x1000, 17)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("insert of %d uops did not panic", len(rseq))
+				}
+			}()
+			c.Insert(0x1000, rseq, 0)
+		}()
+	}
+}

@@ -1,0 +1,118 @@
+package xbcore
+
+import (
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+// dynXB is one dynamic extended block: a run of committed instructions cut
+// at the next XB end condition (conditional branch, indirect branch,
+// return, call, or the 16-uop quota), with promotion applied — a promoted
+// conditional branch that follows its promoted direction does not cut
+// (section 3.8), joining the two blocks exactly as the combined XB the
+// fill unit would store.
+type dynXB struct {
+	start, end int // record index range [start, end)
+	endIP      isa.Addr
+	uops       int
+	class      isa.Class // isa.Seq for a pure quota cut (single successor)
+	taken      bool      // outcome of the ending branch
+	rseq       []isa.UopID
+
+	endPromoted bool // ending conditional branch is promoted
+	violated    bool // ... and this execution went against the promoted direction
+
+	inner []promObs // promoted branches traversed without cutting
+}
+
+// promObs is one promoted-branch traversal observed inside a XB; its bias
+// counter keeps training (section 3.8).
+type promObs struct {
+	ip    isa.Addr
+	taken bool
+	cum   int // cumulative uops from the block's entry up to and including the branch
+}
+
+// promQuery reports the promotion state of the conditional branch at ip.
+type promQuery func(ip isa.Addr) (dir, promoted bool)
+
+// cutXB cuts the next dynamic XB from recs starting at index i, honouring
+// the quota and the current promotion state.
+func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
+	xb := dynXB{start: i}
+	j := i
+	for j < len(recs) {
+		r := recs[j]
+		n := int(r.NumUops)
+		if xb.uops+n > quota {
+			// Quota cut before r. The block's identity comes from its
+			// last instruction.
+			xb.end = j
+			last := recs[j-1]
+			xb.endIP = last.IP
+			if last.Class == isa.CondBranch {
+				// Only a promoted on-path branch can sit last without
+				// having cut; the block ends on it because of the quota.
+				xb.class = isa.CondBranch
+				xb.taken = last.Taken
+				xb.endPromoted = true
+				// Its traversal was recorded in inner; keep it there for
+				// training consistency and also mark the ending.
+			} else {
+				xb.class = isa.Seq
+			}
+			xb.buildRseq(recs)
+			return xb
+		}
+		xb.uops += n
+		j++
+		if !r.Class.EndsXB() {
+			continue
+		}
+		if r.Class == isa.CondBranch {
+			if dir, ok := promoted(r.IP); ok {
+				if r.Taken == dir {
+					// Promoted and on-path: the branch does not cut.
+					xb.inner = append(xb.inner, promObs{ip: r.IP, taken: r.Taken, cum: xb.uops})
+					continue
+				}
+				// Promotion violated: the block ends here and the fetch
+				// engine, which assumed the promoted path, re-steers.
+				xb.end = j
+				xb.endIP = r.IP
+				xb.class = r.Class
+				xb.taken = r.Taken
+				xb.endPromoted = true
+				xb.violated = true
+				xb.buildRseq(recs)
+				return xb
+			}
+		}
+		xb.end = j
+		xb.endIP = r.IP
+		xb.class = r.Class
+		xb.taken = r.Taken
+		xb.buildRseq(recs)
+		return xb
+	}
+	// Stream exhausted mid-block.
+	xb.end = j
+	if j > i {
+		last := recs[j-1]
+		xb.endIP = last.IP
+		xb.class = isa.Seq
+	}
+	xb.buildRseq(recs)
+	return xb
+}
+
+// buildRseq fills the reverse-order uop identity sequence.
+func (xb *dynXB) buildRseq(recs []trace.Rec) {
+	xb.rseq = make([]isa.UopID, 0, xb.uops)
+	for k := xb.end - 1; k >= xb.start; k-- {
+		r := recs[k]
+		for u := int(r.NumUops) - 1; u >= 0; u-- {
+			xb.rseq = append(xb.rseq, isa.Uop(r.IP, u))
+		}
+	}
+}

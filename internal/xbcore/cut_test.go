@@ -1,0 +1,211 @@
+package xbcore
+
+import (
+	"testing"
+
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+func mkRec(ip isa.Addr, class isa.Class, uops int, taken bool, next isa.Addr) trace.Rec {
+	r := trace.Rec{IP: ip, Class: class, NumUops: uint8(uops), Size: 4, Taken: taken}
+	if next == 0 {
+		r.Next = r.FallThrough()
+	} else {
+		r.Next = next
+	}
+	return r
+}
+
+func noProm(isa.Addr) (bool, bool) { return false, false }
+
+func TestCutXBEndsOnCondBranch(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.CondBranch, 1, true, 0x200),
+		mkRec(0x200, isa.Seq, 1, false, 0),
+	}
+	xb := cutXB(recs, 0, 16, noProm)
+	if xb.start != 0 || xb.end != 2 {
+		t.Fatalf("range [%d,%d), want [0,2)", xb.start, xb.end)
+	}
+	if xb.endIP != 0x104 || xb.class != isa.CondBranch || !xb.taken {
+		t.Fatalf("identity wrong: %+v", xb)
+	}
+	if xb.uops != 3 {
+		t.Fatalf("uops = %d", xb.uops)
+	}
+}
+
+func TestCutXBJumpDoesNotCut(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.Jump, 1, true, 0x200),
+		mkRec(0x200, isa.Seq, 2, false, 0),
+		mkRec(0x204, isa.Return, 1, true, 0x300),
+	}
+	xb := cutXB(recs, 0, 16, noProm)
+	if xb.end != 4 || xb.endIP != 0x204 || xb.class != isa.Return {
+		t.Fatalf("jump cut the XB: %+v", xb)
+	}
+	if xb.uops != 6 {
+		t.Fatalf("uops = %d", xb.uops)
+	}
+}
+
+func TestCutXBQuota(t *testing.T) {
+	var recs []trace.Rec
+	ip := isa.Addr(0x100)
+	for i := 0; i < 6; i++ {
+		r := mkRec(ip, isa.Seq, 4, false, 0)
+		recs = append(recs, r)
+		ip = r.FallThrough()
+	}
+	xb := cutXB(recs, 0, 16, noProm)
+	if xb.uops != 16 || xb.end != 4 {
+		t.Fatalf("quota cut wrong: uops=%d end=%d", xb.uops, xb.end)
+	}
+	if xb.class != isa.Seq {
+		t.Fatalf("quota-cut class = %v, want Seq", xb.class)
+	}
+	if xb.endIP != recs[3].IP {
+		t.Fatalf("quota-cut identity = %#x, want %#x", xb.endIP, recs[3].IP)
+	}
+}
+
+func TestCutXBReverseOrder(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),       // uops (0x100,0) (0x100,1)
+		mkRec(0x104, isa.CondBranch, 1, true, 0), // uop (0x104,0)
+	}
+	xb := cutXB(recs, 0, 16, noProm)
+	want := []isa.UopID{isa.Uop(0x104, 0), isa.Uop(0x100, 1), isa.Uop(0x100, 0)}
+	if len(xb.rseq) != len(want) {
+		t.Fatalf("rseq len = %d", len(xb.rseq))
+	}
+	for i := range want {
+		if xb.rseq[i] != want[i] {
+			t.Fatalf("rseq[%d] = %v, want %v", i, xb.rseq[i], want[i])
+		}
+	}
+}
+
+func TestCutXBPromotedJoins(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.CondBranch, 1, false, 0), // promoted NT
+		mkRec(0x108, isa.Seq, 2, false, 0),
+		mkRec(0x10c, isa.CondBranch, 1, true, 0x100),
+	}
+	prom := func(ip isa.Addr) (bool, bool) {
+		if ip == 0x104 {
+			return false, true // promoted not-taken
+		}
+		return false, false
+	}
+	xb := cutXB(recs, 0, 16, prom)
+	if xb.end != 4 || xb.endIP != 0x10c {
+		t.Fatalf("promoted branch cut the block: %+v", xb)
+	}
+	if len(xb.inner) != 1 || xb.inner[0].ip != 0x104 || xb.inner[0].taken {
+		t.Fatalf("inner promotion obs wrong: %+v", xb.inner)
+	}
+	if xb.inner[0].cum != 3 {
+		t.Fatalf("inner cum = %d, want 3", xb.inner[0].cum)
+	}
+}
+
+func TestCutXBPromotionViolation(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.CondBranch, 1, true, 0x300), // promoted NT but goes taken
+		mkRec(0x300, isa.Seq, 2, false, 0),
+	}
+	prom := func(ip isa.Addr) (bool, bool) {
+		return false, ip == 0x104 // promoted not-taken
+	}
+	xb := cutXB(recs, 0, 16, prom)
+	if xb.end != 2 || !xb.violated || !xb.endPromoted {
+		t.Fatalf("violation not detected: %+v", xb)
+	}
+	if len(xb.inner) != 0 {
+		t.Fatal("violated ending must not be recorded as inner")
+	}
+	if xb.class != isa.CondBranch || !xb.taken {
+		t.Fatalf("ending identity wrong: %+v", xb)
+	}
+}
+
+func TestCutXBQuotaOnPromotedBranch(t *testing.T) {
+	// A promoted on-path branch right at the quota boundary: the block
+	// ends there with class CondBranch and endPromoted set.
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 4, false, 0),
+		mkRec(0x104, isa.Seq, 4, false, 0),
+		mkRec(0x108, isa.Seq, 4, false, 0),
+		mkRec(0x10c, isa.CondBranch, 4, false, 0), // 16 uops total, promoted NT
+		mkRec(0x110, isa.Seq, 4, false, 0),
+	}
+	prom := func(ip isa.Addr) (bool, bool) {
+		return false, ip == 0x10c
+	}
+	xb := cutXB(recs, 0, 16, prom)
+	if xb.end != 4 || xb.uops != 16 {
+		t.Fatalf("quota cut wrong: %+v", xb)
+	}
+	if xb.class != isa.CondBranch || !xb.endPromoted || xb.violated {
+		t.Fatalf("promoted-at-quota identity wrong: %+v", xb)
+	}
+}
+
+func TestCutXBStreamEnd(t *testing.T) {
+	recs := []trace.Rec{
+		mkRec(0x100, isa.Seq, 2, false, 0),
+		mkRec(0x104, isa.Seq, 1, false, 0),
+	}
+	xb := cutXB(recs, 0, 16, noProm)
+	if xb.end != 2 || xb.uops != 3 || xb.class != isa.Seq {
+		t.Fatalf("stream-end cut wrong: %+v", xb)
+	}
+}
+
+func TestCutXBCoversStreamExactly(t *testing.T) {
+	// Repeated cutting must partition the stream: no gaps, no overlaps,
+	// uop counts conserved.
+	recs := []trace.Rec{}
+	ip := isa.Addr(0x100)
+	classes := []isa.Class{isa.Seq, isa.Seq, isa.CondBranch, isa.Seq, isa.Jump, isa.Seq, isa.Call, isa.Seq, isa.Return}
+	for rep := 0; rep < 50; rep++ {
+		for _, c := range classes {
+			r := mkRec(ip, c, 1+rep%3, c != isa.Seq, 0)
+			if c == isa.Seq {
+				r.Taken = false
+			}
+			recs = append(recs, r)
+			ip = r.FallThrough()
+		}
+	}
+	var total uint64
+	for _, r := range recs {
+		total += uint64(r.NumUops)
+	}
+	i := 0
+	var covered uint64
+	for i < len(recs) {
+		xb := cutXB(recs, i, 16, noProm)
+		if xb.start != i || xb.end <= i {
+			t.Fatalf("bad cut range [%d,%d) at %d", xb.start, xb.end, i)
+		}
+		if xb.uops > 16 {
+			t.Fatalf("over-quota block: %d", xb.uops)
+		}
+		if len(xb.rseq) != xb.uops {
+			t.Fatalf("rseq length %d != uops %d", len(xb.rseq), xb.uops)
+		}
+		covered += uint64(xb.uops)
+		i = xb.end
+	}
+	if covered != total {
+		t.Fatalf("uops not conserved: %d vs %d", covered, total)
+	}
+}

@@ -1,0 +1,241 @@
+package xbcore
+
+import (
+	"fmt"
+
+	"xbc/internal/isa"
+)
+
+// FetchResult describes one XBC access attempt.
+type FetchResult struct {
+	OK       bool // all needed lines resident: the XB can be supplied
+	Banks    uint // bank mask the access used (valid when OK)
+	Searched bool // a set search repaired stale references (1-cycle cost)
+}
+
+// Fetch attempts to supply the first length uops (counting from the end)
+// of the given variant; dynRseq is the committed uop sequence in reverse
+// order and must match the stored content — a mismatch is an XBC miss.
+// Stale line references are repaired by set search when enabled. On
+// success LRU stamps are refreshed with the head-line aging bias.
+func (c *Cache) Fetch(endIP isa.Addr, variantID uint32, length int, dynRseq []isa.UopID) FetchResult {
+	e := c.entries[endIP]
+	if e == nil {
+		return FetchResult{}
+	}
+	v := e.variantByID(variantID)
+	if v == nil || len(v.rseq) < length {
+		return FetchResult{}
+	}
+	if commonReversePrefix(v.rseq, dynRseq) < length {
+		// The stored sequence diverges from the committed path: the
+		// pointer is stale (e.g. the code at this address changed paths).
+		return FetchResult{}
+	}
+	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
+	res := FetchResult{OK: true}
+	// Banks pinned by resident chunks beyond the entry depth: repairs of
+	// shallower orders must not collide with them.
+	pinned := c.residentBanksFrom(c.setOf(endIP), endIP, v, orders)
+	for o := 0; o < orders; o++ {
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref := v.refs[o]
+		stale := ref.bank < 0 ||
+			res.Banks&(1<<uint(ref.bank)) != 0 || // bank already used by a lower order
+			!c.lineAt(c.setOf(endIP), int(ref.bank), int(ref.way)).matches(endIP, o, chunk)
+		if stale {
+			if !c.cfg.SetSearch {
+				return FetchResult{}
+			}
+			fr, ok := c.findLine(c.setOf(endIP), endIP, o, chunk, res.Banks|pinned)
+			if !ok {
+				return FetchResult{} // truly gone: XBC miss
+			}
+			v.refs[o] = fr
+			res.Searched = true
+			c.SetSearches++
+			ref = fr
+		}
+		res.Banks |= 1 << uint(ref.bank)
+	}
+	c.tick++
+	set := c.setOf(endIP)
+	for o := 0; o < orders; o++ {
+		ref := v.refs[o]
+		c.lineAt(set, int(ref.bank), int(ref.way)).stamp = c.stampFor(o)
+	}
+	return res
+}
+
+// Locate finds a variant of endIP whose stored sequence starts (from the
+// end) with dynRseq[:length]; used by the fill unit to recognise that a
+// freshly built XB is already resident.
+func (c *Cache) Locate(endIP isa.Addr, dynRseq []isa.UopID, length int) (uint32, bool) {
+	e := c.entries[endIP]
+	if e == nil {
+		return 0, false
+	}
+	for _, v := range e.variants {
+		if len(v.rseq) >= length && commonReversePrefix(v.rseq, dynRseq[:length]) == length {
+			return v.id, true
+		}
+	}
+	return 0, false
+}
+
+// NoteConflict records a bank-conflict deferral against the variant and,
+// when dynamic placement is enabled and pressure passes the threshold,
+// moves one conflicting chunk into a free bank. conflictBanks are the
+// banks contended for. Returns whether a re-placement happened.
+func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, conflictBanks uint) bool {
+	e := c.entries[endIP]
+	if e == nil {
+		return false
+	}
+	v := e.variantByID(variantID)
+	if v == nil {
+		return false
+	}
+	v.conflicts++
+	const threshold = 4
+	if !c.cfg.DynamicPlacement || v.conflicts < threshold {
+		return false
+	}
+	v.conflicts = 0
+	set := c.setOf(endIP)
+	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
+	if orders > len(v.refs) {
+		orders = len(v.refs)
+	}
+	// Banks currently used by this variant's resident chunks.
+	used := uint(0)
+	for o := 0; o < orders; o++ {
+		if v.refs[o].bank >= 0 {
+			used |= 1 << uint(v.refs[o].bank)
+		}
+	}
+	for o := 0; o < orders; o++ {
+		ref := v.refs[o]
+		if ref.bank < 0 || conflictBanks&(1<<uint(ref.bank)) == 0 {
+			continue
+		}
+		chunk := v.chunk(o, c.cfg.BankUops)
+		src := c.lineAt(set, int(ref.bank), int(ref.way))
+		if !src.matches(endIP, o, chunk) {
+			continue
+		}
+		// Switch the conflicting line with a line in a non-contended bank
+		// (section 3.10: lines are *switched*, not evicted — the displaced
+		// line keeps living and set search repairs its owner's pointer).
+		// The target bank must not already hold a chunk of this variant.
+		forbidden := (used &^ (1 << uint(ref.bank))) | conflictBanks
+		if forbidden == 1<<uint(c.cfg.Banks)-1 {
+			continue // nowhere to go
+		}
+		dstRef := c.pickVictim(set, forbidden, 0)
+		dst := c.lineAt(set, int(dstRef.bank), int(dstRef.way))
+		// Only switch if the displaced line is colder than the moving one
+		// ("only if its LRU is higher, or if both gain").
+		if dst.valid && dst.stamp > src.stamp {
+			continue
+		}
+		*src, *dst = *dst, *src
+		used = used&^(1<<uint(ref.bank)) | 1<<uint(dstRef.bank)
+		v.refs[o] = dstRef
+		c.Replacements++
+		return true
+	}
+	return false
+}
+
+// Redundancy returns the average number of resident copies per distinct
+// uop — the metric the XBC is designed to drive to 1.0.
+func (c *Cache) Redundancy() float64 {
+	copies := make(map[isa.UopID]int)
+	total := 0
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		for k := 0; k < int(ln.count); k++ {
+			copies[ln.uops[k]]++
+			total++
+		}
+	}
+	if len(copies) == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(copies))
+}
+
+// Fragmentation returns the fraction of uop slots in valid lines left
+// empty.
+func (c *Cache) Fragmentation() float64 {
+	slots, used := 0, 0
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		slots += c.cfg.BankUops
+		used += int(ln.count)
+	}
+	if slots == 0 {
+		return 0
+	}
+	return 1 - float64(used)/float64(slots)
+}
+
+// Utilization returns the fraction of all uop slots (valid or not)
+// currently holding uops.
+func (c *Cache) Utilization() float64 {
+	used := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			used += int(c.lines[i].count)
+		}
+	}
+	return float64(used) / float64(len(c.lines)*c.cfg.BankUops)
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// randomized workloads. It verifies line field ranges and that every
+// variant's resident chunks sit in mutually distinct banks.
+func (c *Cache) CheckInvariants() error {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		if ln.count == 0 || int(ln.count) > c.cfg.BankUops {
+			return fmt.Errorf("xbcore: line %d holds %d uops", i, ln.count)
+		}
+		if int(ln.order) >= c.cfg.MaxOrders() {
+			return fmt.Errorf("xbcore: line %d has order %d", i, ln.order)
+		}
+	}
+	for endIP, e := range c.entries {
+		set := c.setOf(endIP)
+		for _, v := range e.variants {
+			if len(v.rseq) > c.cfg.Quota {
+				return fmt.Errorf("xbcore: variant of %#x has %d uops", endIP, len(v.rseq))
+			}
+			banks := uint(0)
+			for o := 0; o < v.orders(c.cfg.BankUops) && o < len(v.refs); o++ {
+				ref := v.refs[o]
+				if ref.bank < 0 {
+					continue
+				}
+				if !c.lineAt(set, int(ref.bank), int(ref.way)).matches(endIP, o, v.chunk(o, c.cfg.BankUops)) {
+					continue // stale ref: legal, repaired lazily
+				}
+				if banks&(1<<uint(ref.bank)) != 0 {
+					return fmt.Errorf("xbcore: variant of %#x has two resident chunks in bank %d", endIP, ref.bank)
+				}
+				banks |= 1 << uint(ref.bank)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package xbcore
+
+import (
+	"xbc/internal/isa"
+)
+
+// This file implements the XBTB complex of section 3.5: the XBTB proper
+// (per-XB successor pointers and the promotion bias counter), the XiBTB
+// (indirect successor pointers), and the XRSB (return pointer stack). The
+// XBP direction predictor is the shared GSHARE from the frontend package.
+
+// Ptr locates an extended block in the XBC the way the XBTB does: the
+// ending address (which defines set and tag), the variant (standing in for
+// the paper's BANK_MASK, repaired by set search), and OFFSET — how many
+// uops, counted backward from the end, the entry point is.
+type Ptr struct {
+	EndIP   isa.Addr
+	Variant uint32
+	Offset  int
+	Valid   bool
+}
+
+// Matches reports whether the pointer names the same dynamic XB.
+func (p Ptr) Matches(endIP isa.Addr, offset int) bool {
+	return p.Valid && p.EndIP == endIP && p.Offset == offset
+}
+
+// Entry is one XBTB record, describing the XB whose ending address is
+// XBIP.
+type Entry struct {
+	valid bool
+	xbIP  isa.Addr
+	stamp uint64
+
+	// Class of the ending instruction; isa.Seq marks a quota-cut XB whose
+	// successor is unconditional.
+	Class isa.Class
+
+	// Taken is the successor along the taken path (or the only successor
+	// for calls, quota cuts and promoted blocks' frequent path); Fall is
+	// the fall-through successor (and, for call-ending XBs, the
+	// after-return block pushed onto the XRSB).
+	Taken Ptr
+	Fall  Ptr
+
+	// Counter is the 7-bit bias counter of section 3.8 (0..127, starts at
+	// the midpoint); Promoted and PromotedTaken describe promotion state.
+	Counter       uint8
+	Promoted      bool
+	PromotedTaken bool
+	// VioBudget is how many promotion violations remain before the block
+	// is de-promoted; Conform counts consecutive same-direction outcomes
+	// (used both to gate promotion on a genuinely monotonic run and to
+	// replenish the violation budget); LastTaken is the previous outcome.
+	VioBudget uint8
+	Conform   uint8
+	LastTaken bool
+
+	// PromotedTo describes the combined XB this block was merged into
+	// when promoted (section 3.8): EndIP/Variant locate it and Offset is
+	// the tail length (uops after this branch inside the combined block),
+	// so a stale predecessor pointer with offset L redirects to offset
+	// L+tail with a one-cycle penalty instead of a build switch.
+	PromotedTo Ptr
+}
+
+// XBTB is the set-associative pointer table.
+type XBTB struct {
+	sets, ways int
+	entries    []Entry
+	tick       uint64
+
+	Lookups      uint64
+	Hits         uint64
+	Promotions   uint64
+	Depromotions uint64
+}
+
+// NewXBTB builds an empty XBTB with the configured geometry.
+func NewXBTB(cfg Config) *XBTB {
+	return &XBTB{
+		sets:    cfg.XBTBSets,
+		ways:    cfg.XBTBWays,
+		entries: make([]Entry, cfg.XBTBSets*cfg.XBTBWays),
+	}
+}
+
+func (t *XBTB) setOf(ip isa.Addr) int { return int(uint64(ip>>1) & uint64(t.sets-1)) }
+
+// Lookup returns the entry describing the XB ending at ip.
+func (t *XBTB) Lookup(ip isa.Addr) (*Entry, bool) {
+	t.Lookups++
+	base := t.setOf(ip) * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.xbIP == ip {
+			t.tick++
+			e.stamp = t.tick
+			t.Hits++
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Ensure returns the entry for ip, allocating (and evicting LRU) if
+// needed. A fresh entry starts with the bias counter at the midpoint and
+// no valid pointers.
+func (t *XBTB) Ensure(ip isa.Addr, class isa.Class) *Entry {
+	base := t.setOf(ip) * t.ways
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.xbIP == ip {
+			t.tick++
+			e.stamp = t.tick
+			if e.Class == isa.Seq && class != isa.Seq {
+				// A quota-cut XB was later rebuilt ending on a real
+				// branch (e.g. after promotion state changed).
+				e.Class = class
+			}
+			return e
+		}
+		if !e.valid {
+			victim = base + w
+			continue
+		}
+		if t.entries[victim].valid && e.stamp < t.entries[victim].stamp {
+			victim = base + w
+		}
+	}
+	t.tick++
+	t.entries[victim] = Entry{valid: true, xbIP: ip, Class: class, Counter: 64, stamp: t.tick}
+	return &t.entries[victim]
+}
+
+// Train updates the 7-bit bias counter with one outcome and applies the
+// promotion/de-promotion rules of section 3.8. It returns (promoted,
+// depromoted) transitions for statistics.
+func (t *XBTB) Train(e *Entry, taken bool, cfg Config) (promoted, depromoted bool) {
+	if taken {
+		if e.Counter < 127 {
+			e.Counter++
+		}
+	} else if e.Counter > 0 {
+		e.Counter--
+	}
+	if !cfg.Promotion {
+		return false, false
+	}
+	if e.Promoted {
+		if taken == e.PromotedTaken {
+			// Conforming execution: a long conforming run replenishes
+			// the violation budget.
+			if e.Conform < 255 {
+				e.Conform++
+			}
+			if e.Conform >= 64 && e.VioBudget < cfg.DemoteSlack {
+				e.VioBudget = cfg.DemoteSlack
+				e.Conform = 0
+			}
+			return false, false
+		}
+		// Violation: spend budget; de-promote when exhausted, resetting
+		// the counter so re-promotion requires full re-saturation.
+		e.Conform = 0
+		if e.VioBudget > 0 {
+			e.VioBudget--
+		}
+		if e.VioBudget == 0 {
+			e.Promoted = false
+			e.Counter = 64
+			t.Depromotions++
+			return false, true
+		}
+		return false, false
+	}
+	if e.Class != isa.CondBranch {
+		return false, false
+	}
+	// Track the current monotonic run; promotion requires both a
+	// saturated counter and a long uninterrupted run, which separates the
+	// >=99%-biased population from medium-bias loops whose counters also
+	// saturate.
+	if taken == e.LastTaken {
+		if e.Conform < 255 {
+			e.Conform++
+		}
+	} else {
+		e.Conform = 0
+	}
+	e.LastTaken = taken
+	const minRun = 96
+	if e.Conform < minRun {
+		return false, false
+	}
+	if taken && e.Counter >= cfg.PromoteHi {
+		e.Promoted, e.PromotedTaken = true, true
+		e.VioBudget, e.Conform = cfg.DemoteSlack, 0
+		t.Promotions++
+		return true, false
+	}
+	if !taken && e.Counter <= cfg.PromoteLo {
+		e.Promoted, e.PromotedTaken = true, false
+		e.VioBudget, e.Conform = cfg.DemoteSlack, 0
+		t.Promotions++
+		return true, false
+	}
+	return false, false
+}
+
+// PromotedDir reports whether the conditional branch ending a XB at ip is
+// currently promoted, and in which direction.
+func (t *XBTB) PromotedDir(ip isa.Addr) (dir, promoted bool) {
+	base := t.setOf(ip) * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.xbIP == ip {
+			return e.PromotedTaken, e.Promoted
+		}
+	}
+	return false, false
+}
+
+// XiBTB predicts the successor pointer of indirect-ending XBs. It is a
+// two-level cascade: a history table indexed by (XB address, recent target
+// history) captures patterned sites, backed by a per-address last-target
+// table that covers cold history contexts and monomorphic sites.
+type XiBTB struct {
+	histBits uint
+	hist     uint64
+	mask     uint64
+
+	histTags []isa.Addr
+	histPtrs []Ptr
+	baseTags []isa.Addr
+	basePtrs []Ptr
+}
+
+// NewXiBTB builds an indirect-pointer cascade with 2^indexBits entries per
+// level and histBits of target history.
+func NewXiBTB(indexBits, histBits uint) *XiBTB {
+	n := 1 << indexBits
+	return &XiBTB{
+		histBits: histBits,
+		mask:     uint64(n - 1),
+		histTags: make([]isa.Addr, n),
+		histPtrs: make([]Ptr, n),
+		baseTags: make([]isa.Addr, n),
+		basePtrs: make([]Ptr, n),
+	}
+}
+
+func (x *XiBTB) histIndex(ip isa.Addr) uint64 {
+	h := x.hist & (1<<x.histBits - 1)
+	return (uint64(ip>>1) ^ h*0x9e3779b1) & x.mask
+}
+
+func (x *XiBTB) baseIndex(ip isa.Addr) uint64 { return uint64(ip>>1) & x.mask }
+
+// Predict returns the pointer recorded for ip, preferring the history
+// level.
+func (x *XiBTB) Predict(ip isa.Addr) (Ptr, bool) {
+	if i := x.histIndex(ip); x.histPtrs[i].Valid && x.histTags[i] == ip {
+		return x.histPtrs[i], true
+	}
+	if i := x.baseIndex(ip); x.basePtrs[i].Valid && x.baseTags[i] == ip {
+		return x.basePtrs[i], true
+	}
+	return Ptr{}, false
+}
+
+// Update records the resolved successor pointer in both levels and folds
+// the target into the history.
+func (x *XiBTB) Update(ip isa.Addr, p Ptr) {
+	i := x.histIndex(ip)
+	x.histTags[i] = ip
+	x.histPtrs[i] = p
+	j := x.baseIndex(ip)
+	x.baseTags[j] = ip
+	x.basePtrs[j] = p
+	if x.histBits > 0 {
+		// Fold the target down to 2 bits of entropy per step so aligned
+		// addresses still perturb the short history window.
+		tb := uint64(p.EndIP >> 1)
+		tb ^= tb>>7 ^ tb>>13 ^ tb>>23
+		x.hist = x.hist<<2 ^ tb&3
+	}
+}
+
+// XRSB is the return stack of section 3.5. Following the paper, what is
+// pushed is a reference to the *call XB's XBTB entry* (its ending
+// address): the after-return pointer is read out of that entry at pop
+// time, so updates learned between the call and its return — including
+// the first-ever learning of XB_ret — are visible to the prediction.
+type XRSB struct {
+	slots []isa.Addr
+	live  []bool
+	top   int
+	depth int
+}
+
+// NewXRSB builds a return stack of depth n.
+func NewXRSB(n int) *XRSB {
+	return &XRSB{slots: make([]isa.Addr, n), live: make([]bool, n)}
+}
+
+// Push records the call XB's ending address (its XBTB entry reference).
+func (r *XRSB) Push(callIP isa.Addr) {
+	r.slots[r.top] = callIP
+	r.live[r.top] = true
+	r.top = (r.top + 1) % len(r.slots)
+	if r.depth < len(r.slots) {
+		r.depth++
+	}
+}
+
+// Pop returns the call entry reference for a return-ending XB.
+func (r *XRSB) Pop() (isa.Addr, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.slots)) % len(r.slots)
+	r.depth--
+	ok := r.live[r.top]
+	r.live[r.top] = false
+	return r.slots[r.top], ok
+}
+
+// Depth reports the number of live entries.
+func (r *XRSB) Depth() int { return r.depth }

@@ -1,0 +1,256 @@
+package xbcore
+
+import (
+	"testing"
+
+	"xbc/internal/isa"
+)
+
+func TestXBTBEnsureLookup(t *testing.T) {
+	x := NewXBTB(DefaultConfig(1024))
+	if _, ok := x.Lookup(0x100); ok {
+		t.Fatal("cold lookup hit")
+	}
+	e := x.Ensure(0x100, isa.CondBranch)
+	if e.Class != isa.CondBranch || e.Counter != 64 {
+		t.Fatalf("fresh entry wrong: %+v", e)
+	}
+	got, ok := x.Lookup(0x100)
+	if !ok || got != e {
+		t.Fatal("lookup after ensure failed")
+	}
+	// Ensure again returns the same entry.
+	if again := x.Ensure(0x100, isa.CondBranch); again != e {
+		t.Fatal("ensure allocated a duplicate")
+	}
+}
+
+func TestXBTBClassUpgrade(t *testing.T) {
+	x := NewXBTB(DefaultConfig(1024))
+	e := x.Ensure(0x100, isa.Seq)
+	if got := x.Ensure(0x100, isa.CondBranch); got != e || e.Class != isa.CondBranch {
+		t.Fatal("quota-cut entry did not upgrade to branch class")
+	}
+	// But a real class never downgrades to Seq.
+	x.Ensure(0x100, isa.Seq)
+	if e.Class != isa.CondBranch {
+		t.Fatal("class downgraded")
+	}
+}
+
+func TestXBTBLRUEviction(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	cfg.XBTBSets = 1
+	cfg.XBTBWays = 2
+	x := NewXBTB(cfg)
+	x.Ensure(0x2, isa.CondBranch)
+	x.Ensure(0x4, isa.CondBranch)
+	x.Lookup(0x2) // refresh
+	x.Ensure(0x6, isa.CondBranch)
+	if _, ok := x.Lookup(0x4); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if _, ok := x.Lookup(0x2); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+// trainRun feeds n identical outcomes.
+func trainRun(x *XBTB, e *Entry, taken bool, n int, cfg Config) (promoted bool) {
+	for i := 0; i < n; i++ {
+		p, _ := x.Train(e, taken, cfg)
+		promoted = promoted || p
+	}
+	return promoted
+}
+
+func TestPromotionRequiresMonotonicRun(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x100, isa.CondBranch)
+	// 200 taken in a row: must promote (counter saturates and the run
+	// gate passes).
+	if !trainRun(x, e, true, 200, cfg) {
+		t.Fatal("monotonic branch did not promote")
+	}
+	if !e.Promoted || !e.PromotedTaken {
+		t.Fatalf("promotion state wrong: %+v", e)
+	}
+}
+
+func TestPromotionNotTakenDirection(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x200, isa.CondBranch)
+	if !trainRun(x, e, false, 200, cfg) {
+		t.Fatal("monotonic not-taken branch did not promote")
+	}
+	if !e.Promoted || e.PromotedTaken {
+		t.Fatalf("promotion direction wrong: %+v", e)
+	}
+}
+
+func TestMediumBiasLoopDoesNotPromote(t *testing.T) {
+	// A trip-20 loop (taken 19, not-taken 1, repeating) saturates the
+	// counter but never achieves the 96-long monotonic run; it must not
+	// promote.
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x300, isa.CondBranch)
+	for rep := 0; rep < 100; rep++ {
+		if trainRun(x, e, true, 19, cfg) {
+			t.Fatal("trip-20 loop promoted")
+		}
+		if p, _ := x.Train(e, false, cfg); p {
+			t.Fatal("trip-20 loop promoted on exit")
+		}
+	}
+	if e.Promoted {
+		t.Fatal("trip-20 loop ended up promoted")
+	}
+}
+
+func TestDepromotionOnViolations(t *testing.T) {
+	cfg := DefaultConfig(1024) // DemoteSlack = 3
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x400, isa.CondBranch)
+	trainRun(x, e, true, 200, cfg)
+	if !e.Promoted {
+		t.Fatal("setup failed")
+	}
+	// Three consecutive violations exhaust the budget.
+	dep := false
+	for i := 0; i < int(cfg.DemoteSlack); i++ {
+		_, d := x.Train(e, false, cfg)
+		dep = dep || d
+	}
+	if !dep || e.Promoted {
+		t.Fatalf("de-promotion did not happen: %+v", e)
+	}
+	if e.Counter != 64 {
+		t.Fatalf("counter not reset after de-promotion: %d", e.Counter)
+	}
+	if x.Depromotions != 1 {
+		t.Fatalf("depromotion counter = %d", x.Depromotions)
+	}
+}
+
+func TestViolationBudgetReplenishes(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x500, isa.CondBranch)
+	trainRun(x, e, true, 200, cfg)
+	// Spend 2 of 3 budget, then conform for 64 to replenish, then 2 more
+	// violations must still not de-promote.
+	x.Train(e, false, cfg)
+	x.Train(e, false, cfg)
+	trainRun(x, e, true, 80, cfg)
+	x.Train(e, false, cfg)
+	x.Train(e, false, cfg)
+	if !e.Promoted {
+		t.Fatal("budget did not replenish after a conforming run")
+	}
+}
+
+func TestPromotedDir(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	if _, ok := x.PromotedDir(0x100); ok {
+		t.Fatal("phantom promotion")
+	}
+	e := x.Ensure(0x100, isa.CondBranch)
+	trainRun(x, e, true, 200, cfg)
+	dir, ok := x.PromotedDir(0x100)
+	if !ok || !dir {
+		t.Fatalf("PromotedDir = %v,%v", dir, ok)
+	}
+}
+
+func TestTrainDisabledPromotion(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	cfg.Promotion = false
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x100, isa.CondBranch)
+	if trainRun(x, e, true, 300, cfg) || e.Promoted {
+		t.Fatal("promotion happened while disabled")
+	}
+	if e.Counter != 127 {
+		t.Fatalf("counter should still saturate: %d", e.Counter)
+	}
+}
+
+func TestNonCondNeverPromotes(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	x := NewXBTB(cfg)
+	e := x.Ensure(0x100, isa.Return)
+	if trainRun(x, e, true, 300, cfg) {
+		t.Fatal("a return-ending XB promoted")
+	}
+}
+
+func TestPtrMatches(t *testing.T) {
+	p := Ptr{EndIP: 0x100, Variant: 2, Offset: 7, Valid: true}
+	if !p.Matches(0x100, 7) {
+		t.Fatal("exact match failed")
+	}
+	if p.Matches(0x100, 8) || p.Matches(0x104, 7) {
+		t.Fatal("mismatch accepted")
+	}
+	if (Ptr{EndIP: 0x100, Offset: 7}).Matches(0x100, 7) {
+		t.Fatal("invalid pointer matched")
+	}
+}
+
+func TestXiBTBCascade(t *testing.T) {
+	x := NewXiBTB(8, 6)
+	if _, ok := x.Predict(0x10); ok {
+		t.Fatal("cold hit")
+	}
+	a := Ptr{EndIP: 0xA00, Offset: 4, Valid: true}
+	x.Update(0x10, a)
+	if got, ok := x.Predict(0x10); !ok || got != a {
+		t.Fatalf("predict = %+v,%v", got, ok)
+	}
+	// Alternating targets become predictable through the history level.
+	b := Ptr{EndIP: 0xB00, Offset: 6, Valid: true}
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		want := a
+		if i%2 == 1 {
+			want = b
+		}
+		got, ok := x.Predict(0x10)
+		if i > 1000 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		x.Update(0x10, want)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("alternating accuracy %.2f", acc)
+	}
+}
+
+func TestXRSB(t *testing.T) {
+	r := NewXRSB(2)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // wraps, drops 1
+	if r.Depth() != 2 {
+		t.Fatalf("depth = %d", r.Depth())
+	}
+	if got, ok := r.Pop(); !ok || got != 3 {
+		t.Fatalf("got %v,%v", got, ok)
+	}
+	if got, ok := r.Pop(); !ok || got != 2 {
+		t.Fatalf("got %v,%v", got, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("stack should be empty")
+	}
+}
