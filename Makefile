@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments calibrate fuzz clean
+.PHONY: all check build test vet race bench experiments calibrate fuzz clean
 
-all: build vet test
+all: check
+
+# The verification gate: build, vet, the full suite under the race
+# detector, and a short fuzz pass over the .xtr parser.
+check: build vet race
+	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 10s
 
 build:
 	$(GO) build ./...
@@ -14,6 +19,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,12 +4,20 @@
 //
 //	experiments [-fig 1|8|9|10|all] [-extra redundancy|frontends|ablation]
 //	            [-uops N] [-budget N] [-traces a,b,c] [-csv] [-parallel N]
+//	            [-timeout D] [-retries N] [-journal FILE] [-resume]
 //
 // With no flags it reproduces all four figures at the default scale
 // (21 workloads, 1M uops each, 32K-uop caches).
+//
+// The run is interruptible and resumable: SIGINT drains in-flight cells
+// and prints whatever completed; with -journal FILE every finished cell
+// is checkpointed, and a later run with -journal FILE -resume replays
+// completed cells instead of recomputing them. A cell that panics or
+// errors costs only its own table row.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,13 +41,37 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		plot     = flag.Bool("plot", false, "also draw ASCII charts for figures 9 and 10")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent workload simulations")
+		timeout  = flag.Duration("timeout", 0, "per-cell deadline (0 = unbounded), e.g. 2m")
+		retries  = flag.Int("retries", 0, "retries per cell on transient errors")
+		journal  = flag.String("journal", "", "checkpoint journal file (completed cells recorded as they finish)")
+		resume   = flag.Bool("resume", false, "with -journal: replay completed cells instead of recomputing")
 	)
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		log.Fatal("-resume requires -journal FILE")
+	}
+
+	ctx, stop := xbc.NotifyContext(context.Background())
+	defer stop()
+	report := &xbc.RunReport{}
 
 	opts := xbc.DefaultExperimentOptions()
 	opts.UopsPerTrace = *uops
 	opts.Budget = *budget
 	opts.Parallel = *parallel
+	opts.Ctx = ctx
+	opts.CellTimeout = *timeout
+	opts.Retries = *retries
+	opts.Report = report
+	if *journal != "" {
+		j, err := xbc.OpenJournal(*journal, *resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
 	if *traces != "" {
 		var ws []xbc.Workload
 		for _, name := range strings.Split(*traces, ",") {
@@ -64,114 +96,113 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// A figure whose every cell failed returns an error; the run keeps
+	// going so later figures (and the epilogue) still happen.
+	var figErrs int
+	check := func(what string, err error) bool {
+		if err != nil {
+			figErrs++
+			log.Printf("%s: %v", what, err)
+			return false
+		}
+		return true
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
 	if want("1") {
-		r, err := xbc.Figure1(opts)
-		if err != nil {
-			log.Fatal(err)
+		if r, err := xbc.Figure1(opts); check("figure 1", err) {
+			emit(r.Table)
 		}
-		emit(r.Table)
 	}
 	if want("8") {
-		r, err := xbc.Figure8(opts)
-		if err != nil {
-			log.Fatal(err)
+		if r, err := xbc.Figure8(opts); check("figure 8", err) {
+			emit(r.Table)
 		}
-		emit(r.Table)
 	}
 	if want("9") {
-		r, err := xbc.Figure9(opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emit(r.Table)
-		if *plot {
-			if err := r.Plot.Render(os.Stdout); err != nil {
-				log.Fatal(err)
+		if r, err := xbc.Figure9(opts); check("figure 9", err) {
+			emit(r.Table)
+			if *plot {
+				if err := r.Plot.Render(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
 		}
 	}
 	if want("10") {
-		r, err := xbc.Figure10(opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emit(r.Table)
-		if *plot {
-			if err := r.Plot.Render(os.Stdout); err != nil {
-				log.Fatal(err)
+		if r, err := xbc.Figure10(opts); check("figure 10", err) {
+			emit(r.Table)
+			if *plot {
+				if err := r.Plot.Render(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
 		}
 	}
 
 	if *extra != "" {
-		studies := strings.Split(*extra, ",")
-		if *extra == "all" {
-			studies = []string{"redundancy", "frontends", "ablation", "pathassoc", "xbtb", "renamer", "ctxswitch", "phases", "ipc"}
+		type study struct {
+			name string
+			run  func(xbc.ExperimentOptions) (*xbc.Table, error)
 		}
-		for _, st := range studies {
-			switch strings.TrimSpace(st) {
-			case "redundancy":
-				t, err := xbc.Redundancy(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "frontends":
-				t, err := xbc.FrontendLandscape(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "ablation":
-				t, err := xbc.Ablation(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "pathassoc":
-				t, err := xbc.PathAssociativity(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "xbtb":
-				t, err := xbc.XBTBSweep(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "renamer":
-				t, err := xbc.RenamerSweep(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "ctxswitch":
-				t, err := xbc.ContextSwitch(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "phases":
-				t, err := xbc.Phases(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			case "ipc":
-				t, err := xbc.IPCEstimate(opts)
-				if err != nil {
-					log.Fatal(err)
-				}
-				emit(t)
-			default:
-				log.Fatalf("unknown extra study %q", st)
+		all := []study{
+			{"redundancy", xbc.Redundancy},
+			{"frontends", xbc.FrontendLandscape},
+			{"ablation", xbc.Ablation},
+			{"pathassoc", xbc.PathAssociativity},
+			{"xbtb", xbc.XBTBSweep},
+			{"renamer", xbc.RenamerSweep},
+			{"ctxswitch", xbc.ContextSwitch},
+			{"phases", xbc.Phases},
+			{"ipc", xbc.IPCEstimate},
+		}
+		names := strings.Split(*extra, ",")
+		if *extra == "all" {
+			names = names[:0]
+			for _, st := range all {
+				names = append(names, st.name)
 			}
 		}
+		for _, n := range names {
+			n = strings.TrimSpace(n)
+			found := false
+			for _, st := range all {
+				if st.name == n {
+					found = true
+					if t, err := st.run(opts); check(st.name, err) {
+						emit(t)
+					}
+					break
+				}
+			}
+			if !found {
+				log.Fatalf("unknown extra study %q", n)
+			}
+		}
+	}
+
+	// Epilogue: account for every cell, then pick the exit status.
+	_, skipped, failed, aborted := report.Counts()
+	if skipped+failed+aborted > 0 || ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", report.Summary())
+	}
+	for _, f := range report.Failures() {
+		fmt.Fprintf(os.Stderr, "experiments: failed %s: %v\n", f.Cell, f.Err.Err)
+	}
+	switch {
+	case ctx.Err() != nil:
+		msg := "interrupted; partial results above"
+		if *journal != "" {
+			msg += fmt.Sprintf("; rerun with -journal %s -resume to finish", *journal)
+		} else {
+			msg += "; rerun with -journal FILE to make runs resumable"
+		}
+		fmt.Fprintln(os.Stderr, "experiments:", msg)
+		os.Exit(130)
+	case failed > 0 || figErrs > 0:
+		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,16 +48,22 @@ func main() {
 		if err != nil {
 			log.Fatalf("generating %s: %v", w.Name, err)
 		}
-		f, err := os.Create(path)
+		// File IO is retried end to end (create, write, close): a failed
+		// attempt is restarted from a fresh file so a partial write never
+		// survives as the final artifact.
+		err = xbc.RetryIO(context.Background(), 3, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := xbc.WriteTrace(f, s); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := xbc.WriteTrace(f, s); err != nil {
-			f.Close()
 			log.Fatalf("writing %s: %v", path, err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
 		}
 		fmt.Printf("%s: %d records, %d uops -> %s\n", w.Name, s.Len(), s.Uops(), path)
 		if *summary {

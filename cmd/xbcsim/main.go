@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ func main() {
 		in      = flag.String("in", "", ".xtr trace file")
 		uops    = flag.Uint64("uops", 1_000_000, "dynamic uops (with -trace)")
 		budget  = flag.Int("budget", 32*1024, "cache uop budget")
+		check   = flag.Bool("check", false, "enable cycle-level invariant checking (xbc only)")
 		verbose = flag.Bool("v", false, "print structure-specific extras")
 	)
 	flag.Parse()
@@ -37,12 +39,17 @@ func main() {
 	var s *xbc.Stream
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		s, err = xbc.ReadTrace(f)
-		f.Close()
+		// Trace-file IO is retried: a transient open/read failure (NFS
+		// hiccup, racing writer) should not kill a scripted sweep.
+		err := xbc.RetryIO(context.Background(), 3, func() error {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			s, err = xbc.ReadTrace(f)
+			return err
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +76,12 @@ func main() {
 		"decoded": func() xbc.Frontend { return xbc.NewDecodedFrontend(*budget) },
 		"tc":      func() xbc.Frontend { return xbc.NewTraceCacheFrontend(*budget) },
 		"bbtc":    func() xbc.Frontend { return xbc.NewBBTCFrontend(*budget) },
-		"xbc":     func() xbc.Frontend { return xbc.NewXBCFrontend(*budget) },
+		"xbc": func() xbc.Frontend {
+			if *check {
+				return xbc.NewCheckedXBCFrontend(*budget)
+			}
+			return xbc.NewXBCFrontend(*budget)
+		},
 	}
 	order := []string{"ic", "decoded", "tc", "bbtc", "xbc"}
 
@@ -80,7 +92,10 @@ func main() {
 		}
 		model := mk()
 		s.Reset()
-		m := model.Run(s)
+		m, err := xbc.RunSafe(model, s)
+		if err != nil {
+			log.Fatalf("%s: %v", model.Name(), err)
+		}
 		fmt.Printf("%-8s insts=%d uops=%d\n", model.Name(), m.Insts, m.Uops)
 		fmt.Printf("  uop miss rate   %6.2f %%\n", m.UopMissRate())
 		fmt.Printf("  delivery BW     %6.2f uops/cycle\n", m.Bandwidth())

@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	w, _ := xbc.WorkloadByName("vortex")
+	w, ok := xbc.WorkloadByName("vortex")
+	if !ok {
+		log.Fatal("unknown workload vortex")
+	}
 	stream, err := xbc.Generate(w, 500_000)
 	if err != nil {
 		log.Fatal(err)

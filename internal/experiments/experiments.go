@@ -2,13 +2,21 @@
 // evaluation section (and the extra studies this reproduction adds): one
 // function per figure, each returning both raw per-workload values and a
 // formatted table printing the same rows/series the paper reports.
+//
+// Every per-workload simulation runs as one cell of the fault-tolerant
+// runner (internal/runner): a panicking or failing cell degrades to a
+// missing table row instead of killing the sweep, cancelling Options.Ctx
+// drains the run gracefully, and an Options.Journal checkpoint lets an
+// interrupted sweep resume without recomputing finished cells.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"time"
 
 	"xbc/internal/frontend"
+	"xbc/internal/runner"
 	"xbc/internal/stats"
 	"xbc/internal/tcache"
 	"xbc/internal/trace"
@@ -36,6 +44,23 @@ type Options struct {
 	FE frontend.Config
 	// Parallel bounds concurrent workload simulations (default 4).
 	Parallel int
+
+	// Ctx cancels the sweep: in-flight cells finish, queued cells abort,
+	// and the figure functions return whatever completed (nil = run to
+	// completion). Wire runner.NotifyContext here for SIGINT draining.
+	Ctx context.Context
+	// CellTimeout bounds each per-workload simulation (0 = unbounded).
+	CellTimeout time.Duration
+	// Retries is how many times a transiently failing cell is retried;
+	// RetryBackoff is the initial backoff between attempts.
+	Retries      int
+	RetryBackoff time.Duration
+	// Journal, when non-nil, checkpoints each completed cell and replays
+	// completed cells on resume instead of recomputing them.
+	Journal *runner.Journal
+	// Report, when non-nil, accumulates every cell outcome across all
+	// figures of a run (for CLI summaries and exit codes).
+	Report *runner.Report
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -77,23 +102,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// forEach runs fn for every workload with bounded parallelism; results are
-// written by index so output order is deterministic.
-func forEach(ws []workload.Workload, parallel int, fn func(i int, w workload.Workload)) {
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn(i, w)
-		}(i, w)
-	}
-	wg.Wait()
-}
-
 // stream generates the dynamic stream for one workload at the configured
 // length.
 func stream(o Options, w workload.Workload) (*trace.Stream, error) {
@@ -117,25 +125,21 @@ type Fig1Result struct {
 func Figure1(o Options) (*Fig1Result, error) {
 	o = o.withDefaults()
 	kinds := []trace.BlockKind{trace.BasicBlock, trace.XB, trace.XBPromoted, trace.DualXB}
-	perWL := make([]map[trace.BlockKind]*stats.Histogram, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		bias := trace.MeasureBias(s)
-		hs := make(map[trace.BlockKind]*stats.Histogram, len(kinds))
-		for _, k := range kinds {
-			hs[k] = trace.SegmentLengths(s, k, bias)
-		}
-		perWL[i] = hs
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	perWL, ok, err := runCells(o, "fig1", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (map[trace.BlockKind]*stats.Histogram, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return nil, err
+			}
+			bias := trace.MeasureBias(s)
+			hs := make(map[trace.BlockKind]*stats.Histogram, len(kinds))
+			for _, k := range kinds {
+				hs[k] = trace.SegmentLengths(s, k, bias)
+			}
+			return hs, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig1Result{
 		Hist:  make(map[trace.BlockKind]*stats.Histogram),
@@ -143,7 +147,10 @@ func Figure1(o Options) (*Fig1Result, error) {
 	}
 	for _, k := range kinds {
 		merged := stats.NewHistogram(trace.QuotaUops + 1)
-		for _, hs := range perWL {
+		for i, hs := range perWL {
+			if !ok[i] || hs[k] == nil {
+				continue
+			}
 			merged.Merge(hs[k])
 		}
 		res.Hist[k] = merged
@@ -179,7 +186,8 @@ type Fig8Row struct {
 	TC       float64
 }
 
-// Fig8Result carries Figure 8's data.
+// Fig8Result carries Figure 8's data; Rows holds the cells that completed
+// (a failed or aborted workload is simply absent).
 type Fig8Result struct {
 	Rows  []Fig8Row
 	Table *stats.Table
@@ -189,25 +197,27 @@ type Fig8Result struct {
 // XBC and TC. The paper's finding: the difference is negligible.
 func Figure8(o Options) (*Fig8Result, error) {
 	o = o.withDefaults()
-	rows := make([]Fig8Row, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
-		s.Reset()
-		mx := x.Run(s)
-		tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
-		s.Reset()
-		mt := tc.Run(s)
-		rows[i] = Fig8Row{Workload: w.Name, Suite: w.Suite, XBC: mx.Bandwidth(), TC: mt.Bandwidth()}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	vals, ok, err := runCells(o, "fig8", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (Fig8Row, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
+			s.Reset()
+			mx := x.Run(s)
+			tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
+			s.Reset()
+			mt := tc.Run(s)
+			return Fig8Row{Workload: w.Name, Suite: w.Suite, XBC: mx.Bandwidth(), TC: mt.Bandwidth()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for i := range vals {
+		if ok[i] {
+			rows = append(rows, vals[i])
 		}
 	}
 	t := stats.NewTable(fmt.Sprintf("Figure 8 - uop bandwidth, XBC vs TC (%dK uops)", o.Budget/1024),
@@ -232,12 +242,19 @@ func Figure8(o Options) (*Fig8Result, error) {
 // Figure 9: uop miss rate versus cache size.
 // ---------------------------------------------------------------------
 
+// fig9Cell is the journaled payload of one (workload, size) cell.
+type fig9Cell struct {
+	XBC float64
+	TC  float64
+}
+
 // Fig9Result carries the size sweep: MissXBC[i][j] is workload i at
-// Sizes[j], in percent.
+// Sizes[j], in percent; OK[i][j] reports whether that cell completed.
 type Fig9Result struct {
 	Sizes   []int
 	MissXBC [][]float64
 	MissTC  [][]float64
+	OK      [][]bool
 	AvgXBC  []float64
 	AvgTC   []float64
 	Table   *stats.Table
@@ -254,35 +271,50 @@ func Figure9(o Options) (*Fig9Result, error) {
 		Sizes:   o.Sizes,
 		MissXBC: make([][]float64, len(o.Workloads)),
 		MissTC:  make([][]float64, len(o.Workloads)),
+		OK:      make([][]bool, len(o.Workloads)),
 	}
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
+	for i := range o.Workloads {
 		res.MissXBC[i] = make([]float64, len(o.Sizes))
 		res.MissTC[i] = make([]float64, len(o.Sizes))
-		for j, size := range o.Sizes {
-			x := xbcore.New(xbcore.DefaultConfig(size), o.FE)
-			s.Reset()
-			res.MissXBC[i][j] = x.Run(s).UopMissRate()
-			tc := tcache.New(tcache.DefaultConfig(size), o.FE)
-			s.Reset()
-			res.MissTC[i][j] = tc.Run(s).UopMissRate()
+		res.OK[i] = make([]bool, len(o.Sizes))
+	}
+	var firstErr error
+	for j, size := range o.Sizes {
+		size := size
+		vals, ok, err := runCells(o, "fig9", o.tag(fmt.Sprintf("size%d", size)), o.Workloads,
+			func(ctx context.Context, w workload.Workload) (fig9Cell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				x := xbcore.New(xbcore.DefaultConfig(size), o.FE)
+				s.Reset()
+				xm := x.Run(s).UopMissRate()
+				tc := tcache.New(tcache.DefaultConfig(size), o.FE)
+				s.Reset()
+				tm := tc.Run(s).UopMissRate()
+				return fig9Cell{XBC: xm, TC: tm}, nil
+			})
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		for i := range o.Workloads {
+			res.MissXBC[i][j] = vals[i].XBC
+			res.MissTC[i][j] = vals[i].TC
+			res.OK[i][j] = ok[i]
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	t := stats.NewTable("Figure 9 - uop miss rate vs cache size (average over all traces)",
 		"size (uops)", "XBC miss %", "TC miss %", "XBC reduction %")
 	for j, size := range o.Sizes {
 		var xs, ts []float64
 		for i := range o.Workloads {
+			if !res.OK[i][j] {
+				continue
+			}
 			xs = append(xs, res.MissXBC[i][j])
 			ts = append(ts, res.MissTC[i][j])
 		}
@@ -320,49 +352,49 @@ type Fig10Result struct {
 // 2-way cuts misses by ~60%; 2-way to 4-way helps less.
 func Figure10(o Options) (*Fig10Result, error) {
 	o = o.withDefaults()
-	missX := make([][]float64, len(o.Workloads))
-	missT := make([][]float64, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		missX[i] = make([]float64, len(o.Assocs))
-		missT[i] = make([]float64, len(o.Assocs))
-		for j, ways := range o.Assocs {
-			xc := xbcore.DefaultConfig(o.Budget)
-			xc.Ways = ways
-			xc.Sets = sizeToSets(o.Budget, xc.Banks*xc.BankUops*ways)
-			x := xbcore.New(xc, o.FE)
-			s.Reset()
-			missX[i][j] = x.Run(s).UopMissRate()
-
-			tc := tcache.DefaultConfig(o.Budget)
-			tc.Ways = ways
-			tc.Sets = sizeToSets(o.Budget, tc.MaxUops*ways)
-			s.Reset()
-			missT[i][j] = tcache.New(tc, o.FE).Run(s).UopMissRate()
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	res := &Fig10Result{Assocs: o.Assocs}
 	t := stats.NewTable(fmt.Sprintf("Figure 10 - miss rate vs associativity (%dK uops, average)", o.Budget/1024),
 		"ways", "XBC miss %", "TC miss %")
-	for j, ways := range o.Assocs {
+	var firstErr error
+	for _, ways := range o.Assocs {
+		ways := ways
+		vals, ok, err := runCells(o, "fig10", o.tag(fmt.Sprintf("w%d", ways)), o.Workloads,
+			func(ctx context.Context, w workload.Workload) (fig9Cell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				xc := xbcore.DefaultConfig(o.Budget)
+				xc.Ways = ways
+				xc.Sets = sizeToSets(o.Budget, xc.Banks*xc.BankUops*ways)
+				x := xbcore.New(xc, o.FE)
+				s.Reset()
+				xm := x.Run(s).UopMissRate()
+
+				tc := tcache.DefaultConfig(o.Budget)
+				tc.Ways = ways
+				tc.Sets = sizeToSets(o.Budget, tc.MaxUops*ways)
+				s.Reset()
+				tm := tcache.New(tc, o.FE).Run(s).UopMissRate()
+				return fig9Cell{XBC: xm, TC: tm}, nil
+			})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 		var xs, ts []float64
-		for i := range o.Workloads {
-			xs = append(xs, missX[i][j])
-			ts = append(ts, missT[i][j])
+		for i := range vals {
+			if !ok[i] {
+				continue
+			}
+			xs = append(xs, vals[i].XBC)
+			ts = append(ts, vals[i].TC)
 		}
 		res.AvgXBC = append(res.AvgXBC, stats.Mean(xs))
 		res.AvgTC = append(res.AvgTC, stats.Mean(ts))
 		t.AddRowf(ways, stats.Mean(xs), stats.Mean(ts))
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	res.Table = t
 	var labels []string

@@ -14,7 +14,10 @@ func smallOpts() Options {
 	o.UopsPerTrace = 120_000
 	ws := []workload.Workload{}
 	for _, name := range []string{"m88ksim", "doom"} {
-		w, _ := workload.ByName(name)
+		w, ok := workload.ByName(name)
+		if !ok {
+			panic("unknown test workload " + name)
+		}
 		ws = append(ws, w)
 	}
 	o.Workloads = ws

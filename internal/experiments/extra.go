@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"xbc/internal/bbtc"
@@ -17,59 +18,69 @@ import (
 // figures (TC redundancy, in-text length claims) plus the ablations
 // DESIGN.md calls out.
 
+// redundancyCell is the journaled payload of one redundancy cell.
+type redundancyCell struct {
+	Suite  workload.Suite
+	XBCRed float64
+	TCRed  float64
+	TCFrag float64
+}
+
 // Redundancy reproduces the in-text redundancy discussion of sections 2.3
 // and 3.3: the TC stores each uop in multiple traces while the XBC is
 // (nearly) redundancy free. Reports resident-copy averages per trace.
 func Redundancy(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	type row struct {
-		name          string
-		suite         workload.Suite
-		xbcRed, tcRed float64
-		tcFrag        float64
-	}
-	rows := make([]row, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
-		s.Reset()
-		mx := x.Run(s)
-		tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
-		s.Reset()
-		mt := tc.Run(s)
-		rows[i] = row{
-			name: w.Name, suite: w.Suite,
-			xbcRed: mx.Extra["redundancy"],
-			tcRed:  mt.Extra["redundancy"],
-			tcFrag: mt.Extra["fragmentation"],
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	vals, ok, err := runCells(o, "redundancy", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (redundancyCell, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return redundancyCell{}, err
+			}
+			x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
+			s.Reset()
+			mx := x.Run(s)
+			tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
+			s.Reset()
+			mt := tc.Run(s)
+			return redundancyCell{
+				Suite:  w.Suite,
+				XBCRed: mx.Extra["redundancy"],
+				TCRed:  mt.Extra["redundancy"],
+				TCFrag: mt.Extra["fragmentation"],
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t := stats.NewTable(fmt.Sprintf("Instruction redundancy (resident copies per distinct uop, %dK uops)", o.Budget/1024),
 		"trace", "suite", "XBC", "TC", "TC fragmentation")
 	var xr, tr []float64
 	last := workload.SPECint
-	for i, r := range rows {
-		if i > 0 && r.suite != last {
+	first := true
+	for i, w := range o.Workloads {
+		if !ok[i] {
+			continue
+		}
+		r := vals[i]
+		if !first && r.Suite != last {
 			t.AddSeparator()
 		}
-		last = r.suite
-		t.AddRowf(r.name, r.suite.String(), r.xbcRed, r.tcRed, r.tcFrag)
-		xr = append(xr, r.xbcRed)
-		tr = append(tr, r.tcRed)
+		first = false
+		last = r.Suite
+		t.AddRowf(w.Name, r.Suite.String(), r.XBCRed, r.TCRed, r.TCFrag)
+		xr = append(xr, r.XBCRed)
+		tr = append(tr, r.TCRed)
 	}
 	t.AddSeparator()
 	t.AddRowf("mean", "", stats.Mean(xr), stats.Mean(tr), "")
 	return t, nil
+}
+
+// frontendsCell is the journaled payload of one frontend-landscape cell:
+// per model, {miss%, bandwidth}.
+type frontendsCell struct {
+	Vals [5][2]float64
 }
 
 // Frontends compares all five instruction-supply models (IC, decoded
@@ -77,48 +88,43 @@ func Redundancy(o Options) (*stats.Table, error) {
 // paper's section 2.
 func Frontends(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	type row struct {
-		name  string
-		suite workload.Suite
-		vals  [5][2]float64 // per model: {miss%, bandwidth}
-	}
-	rows := make([]row, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		models := []frontend.Frontend{
-			icfe.New(o.FE, frontend.DefaultICConfig()),
-			decoded.New(decoded.DefaultConfig(o.Budget), o.FE),
-			tcache.New(tcache.DefaultConfig(o.Budget), o.FE),
-			bbtc.New(bbtc.DefaultConfig(o.Budget), o.FE),
-			xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE),
-		}
-		r := row{name: w.Name, suite: w.Suite}
-		for mi, fe := range models {
-			s.Reset()
-			m := fe.Run(s)
-			r.vals[mi] = [2]float64{m.UopMissRate(), m.Bandwidth()}
-		}
-		rows[i] = r
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	vals, ok, err := runCells(o, "frontends", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (frontendsCell, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return frontendsCell{}, err
+			}
+			models := []frontend.Frontend{
+				icfe.New(o.FE, frontend.DefaultICConfig()),
+				decoded.New(decoded.DefaultConfig(o.Budget), o.FE),
+				tcache.New(tcache.DefaultConfig(o.Budget), o.FE),
+				bbtc.New(bbtc.DefaultConfig(o.Budget), o.FE),
+				xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE),
+			}
+			var cell frontendsCell
+			for mi, fe := range models {
+				s.Reset()
+				m := fe.Run(s)
+				cell.Vals[mi] = [2]float64{m.UopMissRate(), m.Bandwidth()}
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t := stats.NewTable(fmt.Sprintf("Frontend landscape (%dK uops): miss%% / delivery bandwidth", o.Budget/1024),
 		"trace", "IC bw", "decoded miss/bw", "TC miss/bw", "BBTC miss/bw", "XBC miss/bw")
-	for _, r := range rows {
-		t.AddRow(r.name,
-			fmt.Sprintf("%.2f", r.vals[0][1]),
-			fmt.Sprintf("%5.2f/%4.2f", r.vals[1][0], r.vals[1][1]),
-			fmt.Sprintf("%5.2f/%4.2f", r.vals[2][0], r.vals[2][1]),
-			fmt.Sprintf("%5.2f/%4.2f", r.vals[3][0], r.vals[3][1]),
-			fmt.Sprintf("%5.2f/%4.2f", r.vals[4][0], r.vals[4][1]))
+	for i, w := range o.Workloads {
+		if !ok[i] {
+			continue
+		}
+		r := vals[i]
+		t.AddRow(w.Name,
+			fmt.Sprintf("%.2f", r.Vals[0][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.Vals[1][0], r.Vals[1][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.Vals[2][0], r.Vals[2][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.Vals[3][0], r.Vals[3][1]),
+			fmt.Sprintf("%5.2f/%4.2f", r.Vals[4][0], r.Vals[4][1]))
 	}
 	return t, nil
 }
@@ -155,6 +161,15 @@ func Ablations() []AblationSpec {
 	}
 }
 
+// ablationCell is the journaled payload of one (ablation, workload) cell.
+type ablationCell struct {
+	Miss float64
+	BW   float64
+	Red  float64
+	SS   float64
+	Conf float64
+}
+
 // Ablation measures the XBC feature flags one at a time over a workload
 // subset (default: one representative per suite when the options carry all
 // 21 workloads).
@@ -167,36 +182,40 @@ func Ablation(o Options) (*stats.Table, error) {
 	t := stats.NewTable(fmt.Sprintf("XBC ablations (%dK uops, traces: %s)", o.Budget/1024, nameList(ws)),
 		"configuration", "miss %", "bandwidth", "redundancy", "set searches", "bank conflicts")
 	for _, ab := range Ablations() {
-		var miss, bw, red, ss, conf []float64
-		errs := make([]error, len(ws))
-		missV := make([]float64, len(ws))
-		bwV := make([]float64, len(ws))
-		redV := make([]float64, len(ws))
-		ssV := make([]float64, len(ws))
-		confV := make([]float64, len(ws))
-		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
-			s, err := stream(o, w)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			cfg := xbcore.DefaultConfig(o.Budget)
-			ab.Mutate(&cfg)
-			x := xbcore.New(cfg, o.FE)
-			s.Reset()
-			m := x.Run(s)
-			missV[i] = m.UopMissRate()
-			bwV[i] = m.Bandwidth()
-			redV[i] = m.Extra["redundancy"]
-			ssV[i] = m.Extra["set_searches"]
-			confV[i] = m.Extra["bank_conflicts"]
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		ab := ab
+		vals, ok, err := runCells(o, "ablation", o.tag(ab.Name), ws,
+			func(ctx context.Context, w workload.Workload) (ablationCell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return ablationCell{}, err
+				}
+				cfg := xbcore.DefaultConfig(o.Budget)
+				ab.Mutate(&cfg)
+				x := xbcore.New(cfg, o.FE)
+				s.Reset()
+				m := x.Run(s)
+				return ablationCell{
+					Miss: m.UopMissRate(),
+					BW:   m.Bandwidth(),
+					Red:  m.Extra["redundancy"],
+					SS:   m.Extra["set_searches"],
+					Conf: m.Extra["bank_conflicts"],
+				}, nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		miss, bw, red, ss, conf = missV, bwV, redV, ssV, confV
+		var miss, bw, red, ss, conf []float64
+		for i := range vals {
+			if !ok[i] {
+				continue
+			}
+			miss = append(miss, vals[i].Miss)
+			bw = append(bw, vals[i].BW)
+			red = append(red, vals[i].Red)
+			ss = append(ss, vals[i].SS)
+			conf = append(conf, vals[i].Conf)
+		}
 		t.AddRowf(ab.Name, stats.Mean(miss), stats.Mean(bw), stats.Mean(red),
 			stats.Mean(ss), stats.Mean(conf))
 	}
@@ -225,6 +244,12 @@ func nameList(ws []workload.Workload) string {
 	return s
 }
 
+// pathAssocCell is the journaled payload of one path-associativity cell.
+type pathAssocCell struct {
+	TC, TCPath, XBC          float64
+	TCRed, TCPathRed, XBCRed float64
+}
+
 // PathAssociativity contrasts the baseline TC with the [Jaco97]-style
 // path-associative TC the paper cites, and with the XBC: path
 // associativity lets same-start traces coexist (raising hit rate at the
@@ -232,50 +257,44 @@ func nameList(ws []workload.Workload) string {
 // entirely.
 func PathAssociativity(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
-	type row struct {
-		name                     string
-		tc, tcPath, xbc          float64
-		tcRed, tcPathRed, xbcRed float64
-	}
-	rows := make([]row, len(o.Workloads))
-	errs := make([]error, len(o.Workloads))
-	forEach(o.Workloads, o.Parallel, func(i int, w workload.Workload) {
-		s, err := stream(o, w)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		base := tcache.DefaultConfig(o.Budget)
-		pa := base
-		pa.PathAssoc = true
-		s.Reset()
-		mt := tcache.New(base, o.FE).Run(s)
-		s.Reset()
-		mp := tcache.New(pa, o.FE).Run(s)
-		s.Reset()
-		mx := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s)
-		rows[i] = row{
-			name: w.Name,
-			tc:   mt.UopMissRate(), tcPath: mp.UopMissRate(), xbc: mx.UopMissRate(),
-			tcRed: mt.Extra["redundancy"], tcPathRed: mp.Extra["redundancy"], xbcRed: mx.Extra["redundancy"],
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	vals, ok, err := runCells(o, "pathassoc", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (pathAssocCell, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return pathAssocCell{}, err
+			}
+			base := tcache.DefaultConfig(o.Budget)
+			pa := base
+			pa.PathAssoc = true
+			s.Reset()
+			mt := tcache.New(base, o.FE).Run(s)
+			s.Reset()
+			mp := tcache.New(pa, o.FE).Run(s)
+			s.Reset()
+			mx := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s)
+			return pathAssocCell{
+				TC: mt.UopMissRate(), TCPath: mp.UopMissRate(), XBC: mx.UopMissRate(),
+				TCRed: mt.Extra["redundancy"], TCPathRed: mp.Extra["redundancy"], XBCRed: mx.Extra["redundancy"],
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t := stats.NewTable(fmt.Sprintf("Path associativity (%dK uops): miss%% (redundancy)", o.Budget/1024),
 		"trace", "TC", "TC+path", "XBC")
 	var a, b, c []float64
-	for _, r := range rows {
-		t.AddRow(r.name,
-			fmt.Sprintf("%5.2f (%.2f)", r.tc, r.tcRed),
-			fmt.Sprintf("%5.2f (%.2f)", r.tcPath, r.tcPathRed),
-			fmt.Sprintf("%5.2f (%.2f)", r.xbc, r.xbcRed))
-		a = append(a, r.tc)
-		b = append(b, r.tcPath)
-		c = append(c, r.xbc)
+	for i, w := range o.Workloads {
+		if !ok[i] {
+			continue
+		}
+		r := vals[i]
+		t.AddRow(w.Name,
+			fmt.Sprintf("%5.2f (%.2f)", r.TC, r.TCRed),
+			fmt.Sprintf("%5.2f (%.2f)", r.TCPath, r.TCPathRed),
+			fmt.Sprintf("%5.2f (%.2f)", r.XBC, r.XBCRed))
+		a = append(a, r.TC)
+		b = append(b, r.TCPath)
+		c = append(c, r.XBC)
 	}
 	t.AddSeparator()
 	t.AddRowf("mean", stats.Mean(a), stats.Mean(b), stats.Mean(c))

@@ -22,7 +22,10 @@ func TestHeadlineXBCBeatsTCUnderCapacityPressure(t *testing.T) {
 	var xbcMiss, tcMiss float64
 	names := []string{"gcc", "word", "doom"}
 	for _, n := range names {
-		w, _ := workload.ByName(n)
+		w, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
 		s, err := trace.Generate(w.Spec, 400_000)
 		if err != nil {
 			t.Fatal(err)
@@ -47,7 +50,10 @@ func TestBandwidthParity(t *testing.T) {
 		t.Skip("integration test")
 	}
 	// Figure 8's finding: XBC and TC bandwidth are close.
-	w, _ := workload.ByName("m88ksim")
+	w, ok := workload.ByName("m88ksim")
+	if !ok {
+		t.Fatal("unknown workload m88ksim")
+	}
 	s, err := trace.Generate(w.Spec, 400_000)
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +74,10 @@ func TestRedundancyContrast(t *testing.T) {
 	}
 	// The structural heart of the paper: the TC stores uops redundantly,
 	// the XBC does not.
-	w, _ := workload.ByName("perl")
+	w, ok := workload.ByName("perl")
+	if !ok {
+		t.Fatal("unknown workload perl")
+	}
 	s, err := trace.Generate(w.Spec, 300_000)
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +104,10 @@ func TestAssociativityKnee(t *testing.T) {
 	}
 	// Figure 10's finding: 1-way -> 2-way is a big improvement; 2 -> 4 a
 	// smaller one.
-	w, _ := workload.ByName("excel")
+	w, ok := workload.ByName("excel")
+	if !ok {
+		t.Fatal("unknown workload excel")
+	}
 	s, err := trace.Generate(w.Spec, 400_000)
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +136,10 @@ func TestSuiteAveragesAcrossSizes(t *testing.T) {
 		t.Skip("integration test")
 	}
 	// Monotone size behaviour per structure at three sizes.
-	w, _ := workload.ByName("quattro")
+	w, ok := workload.ByName("quattro")
+	if !ok {
+		t.Fatal("unknown workload quattro")
+	}
 	s, err := trace.Generate(w.Spec, 400_000)
 	if err != nil {
 		t.Fatal(err)

@@ -24,7 +24,10 @@ func TestHeadlineRobustToSeeds(t *testing.T) {
 	for _, offset := range []int64{1000, 5000} {
 		var xs, ts []float64
 		for _, n := range names {
-			w, _ := workload.ByName(n)
+			w, ok := workload.ByName(n)
+			if !ok {
+				t.Fatalf("unknown workload %q", n)
+			}
 			spec := w.Spec
 			spec.Seed += offset
 			s, err := trace.Generate(spec, 400_000)
@@ -53,7 +56,10 @@ func TestRedundancyRobustToSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("robustness sweep")
 	}
-	w, _ := workload.ByName("perl")
+	w, ok := workload.ByName("perl")
+	if !ok {
+		t.Fatal("unknown workload perl")
+	}
 	for _, offset := range []int64{777, 31337} {
 		spec := w.Spec
 		spec.Seed += offset

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"xbc/internal/runner"
+	"xbc/internal/workload"
+)
+
+// This file adapts the experiment figures to the fault-tolerant runner:
+// every per-workload simulation becomes one runner cell, gaining panic
+// isolation, cancellation with graceful drain, per-cell deadlines, retry,
+// and journal-based resume. Figures degrade cell-wise — a failed or
+// aborted cell drops out of the tables instead of killing the sweep — and
+// the per-cell outcomes land in Options.Report when one is supplied.
+
+// tag builds the config component of the cell identity from the options
+// that change a cell's result. Two runs with the same tag and cell produce
+// the same payload, which is what makes journal replay sound.
+func (o Options) tag(extra string) string {
+	t := fmt.Sprintf("u%d-b%d", o.UopsPerTrace, o.Budget)
+	if extra != "" {
+		t += "-" + extra
+	}
+	return t
+}
+
+// runnerOptions converts experiment options into runner options.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{
+		Parallel:    o.Parallel,
+		CellTimeout: o.CellTimeout,
+		Retries:     o.Retries,
+		Backoff:     o.RetryBackoff,
+		Journal:     o.Journal,
+		Report:      o.Report,
+	}
+}
+
+// runCells fans fn out over the workloads as (figure, workload, config)
+// cells. It returns the per-workload values index-aligned with ws, a mask
+// of which cells produced a value (done this run or replayed from the
+// journal), and an error only when nothing succeeded and at least one cell
+// genuinely failed — cancellation alone yields an empty result, not an
+// error, so a drained run can still render its partial tables.
+func runCells[T any](o Options, figure, config string, ws []workload.Workload, fn func(ctx context.Context, w workload.Workload) (T, error)) ([]T, []bool, error) {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return runNamedCells(o, figure, config, names, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, ws[i])
+	})
+}
+
+// runNamedCells is runCells for work not keyed by a single workload (e.g.
+// context-switch pairs): cell identities come from names and fn receives
+// the index.
+func runNamedCells[T any](o Options, figure, config string, names []string, fn func(ctx context.Context, i int) (T, error)) ([]T, []bool, error) {
+	tasks := make([]runner.Task, len(names))
+	for i := range names {
+		i := i
+		tasks[i] = runner.Task{
+			Cell: runner.Cell{Figure: figure, Workload: names[i], Config: config},
+			Run:  func(ctx context.Context) (any, error) { return fn(ctx, i) },
+		}
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := runner.Run(ctx, o.runnerOptions(), tasks)
+
+	vals := make([]T, len(names))
+	ok := make([]bool, len(names))
+	var firstErr error
+	succeeded := 0
+	for i, res := range results {
+		switch res.Status {
+		case runner.StatusDone:
+			if v, good := res.Payload.(T); good {
+				vals[i], ok[i] = v, true
+				succeeded++
+			}
+		case runner.StatusSkipped:
+			raw, _ := res.Payload.(json.RawMessage)
+			var v T
+			if err := json.Unmarshal(raw, &v); err == nil {
+				vals[i], ok[i] = v, true
+				succeeded++
+			}
+			// An unreadable journal payload degrades to a missing cell; a
+			// fresh run (without --resume) recomputes it.
+		case runner.StatusFailed:
+			if firstErr == nil && res.Err != nil {
+				firstErr = res.Err
+			}
+		}
+	}
+	if succeeded == 0 && firstErr != nil {
+		return vals, ok, firstErr
+	}
+	return vals, ok, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"xbc/internal/runner"
+	"xbc/internal/workload"
+)
+
+// These tests cover the experiment layer's integration with the
+// fault-tolerant runner: cancellation drains a figure gracefully, and a
+// journal lets a second run replay every cell without recomputation.
+
+func TestFigureAbortsOnCancelledContext(t *testing.T) {
+	o := smallOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing may start
+	o.Ctx = ctx
+	o.Report = &runner.Report{}
+	r, err := Figure8(o)
+	if err != nil {
+		t.Fatalf("cancelled figure errored instead of degrading: %v", err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("cancelled figure produced %d rows", len(r.Rows))
+	}
+	done, skipped, failed, aborted := o.Report.Counts()
+	if done != 0 || skipped != 0 || failed != 0 {
+		t.Fatalf("counts = %d done, %d skipped, %d failed; want all aborted", done, skipped, failed)
+	}
+	if aborted != len(o.Workloads) {
+		t.Fatalf("aborted %d cells, want %d", aborted, len(o.Workloads))
+	}
+}
+
+func TestFigureResumesFromJournal(t *testing.T) {
+	o := smallOpts()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	j, err := runner.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j
+	o.Report = &runner.Report{}
+	first, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _, _ := o.Report.Counts(); d != len(o.Workloads) {
+		t.Fatalf("first run completed %d cells, want %d", d, len(o.Workloads))
+	}
+
+	// Second run resumes: every cell replays from the journal, and the
+	// replayed figure matches the computed one.
+	j2, err := runner.OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	o2 := smallOpts()
+	o2.Journal = j2
+	o2.Report = &runner.Report{}
+	second, err := Figure8(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, skipped, _, _ := o2.Report.Counts()
+	if done != 0 || skipped != len(o2.Workloads) {
+		t.Fatalf("resume ran %d cells and skipped %d; want all %d skipped", done, skipped, len(o2.Workloads))
+	}
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatalf("row count changed across resume: %d vs %d", len(first.Rows), len(second.Rows))
+	}
+	for i := range first.Rows {
+		a, b := first.Rows[i], second.Rows[i]
+		if a.Workload != b.Workload || math.Abs(a.XBC-b.XBC) > 1e-12 || math.Abs(a.TC-b.TC) > 1e-12 {
+			t.Fatalf("row %d diverged across resume:\nfresh   %+v\nreplayed %+v", i, a, b)
+		}
+	}
+}
+
+func TestFigure1ResumesHistogramsFromJournal(t *testing.T) {
+	// Figure 1's payload exercises the Histogram JSON round-trip.
+	o := smallOpts()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := runner.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j
+	first, err := Figure1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := runner.OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	o2 := smallOpts()
+	o2.Journal = j2
+	o2.Report = &runner.Report{}
+	second, err := Figure1(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, s, _, _ := o2.Report.Counts(); d != 0 || s == 0 {
+		t.Fatalf("resume recomputed %d cells (skipped %d)", d, s)
+	}
+	for k, h := range first.Hist {
+		h2 := second.Hist[k]
+		if h2 == nil || h2.Total() != h.Total() || math.Abs(h2.Mean()-h.Mean()) > 1e-12 {
+			t.Fatalf("kind %v histogram diverged across resume", k)
+		}
+	}
+}
+
+func TestRunCellsPanicIsolation(t *testing.T) {
+	// A cell whose function panics must cost only its own row.
+	o := smallOpts()
+	o.Report = &runner.Report{}
+	vals, ok, err := runCells(o, "test-panic", o.tag(""), o.Workloads,
+		func(ctx context.Context, w workload.Workload) (int, error) {
+			if w.Name == o.Workloads[0].Name {
+				panic("injected cell panic")
+			}
+			return 7, nil
+		})
+	if err != nil {
+		t.Fatalf("one panicking cell failed the figure: %v", err)
+	}
+	if ok[0] {
+		t.Fatal("panicked cell reported ok")
+	}
+	for i := 1; i < len(vals); i++ {
+		if !ok[i] || vals[i] != 7 {
+			t.Fatalf("healthy cell %d degraded: ok=%v val=%d", i, ok[i], vals[i])
+		}
+	}
+	if _, _, failed, _ := o.Report.Counts(); failed != 1 {
+		t.Fatalf("report counts %d failures, want 1", failed)
+	}
+	failures := o.Report.Failures()
+	if len(failures) != 1 || failures[0].Err == nil || failures[0].Err.Stack == "" {
+		t.Fatalf("failure missing stack: %+v", failures)
+	}
+}

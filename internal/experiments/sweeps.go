@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"xbc/internal/frontend"
 	"xbc/internal/interval"
 	"xbc/internal/stats"
 	"xbc/internal/tcache"
@@ -27,30 +29,40 @@ func XBTBSweep(o Options) (*stats.Table, error) {
 	t := stats.NewTable(fmt.Sprintf("XBTB capacity sweep (%dK-uop XBC, traces: %s)", o.Budget/1024, nameList(ws)),
 		"XBTB entries", "miss %", "bandwidth")
 	for _, n := range entries {
-		missV := make([]float64, len(ws))
-		bwV := make([]float64, len(ws))
-		errs := make([]error, len(ws))
-		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
-			s, err := stream(o, w)
-			if err != nil {
-				errs[i] = err
-				return
+		n := n
+		vals, ok, err := runCells(o, "xbtb", o.tag(fmt.Sprintf("n%d", n)), ws,
+			func(ctx context.Context, w workload.Workload) (fig9Cell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				cfg := xbcore.DefaultConfig(o.Budget)
+				cfg.XBTBSets = sizeToSets(n, cfg.XBTBWays)
+				s.Reset()
+				m := xbcore.New(cfg, o.FE).Run(s)
+				return fig9Cell{XBC: m.UopMissRate(), TC: m.Bandwidth()}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		var missV, bwV []float64
+		for i := range vals {
+			if !ok[i] {
+				continue
 			}
-			cfg := xbcore.DefaultConfig(o.Budget)
-			cfg.XBTBSets = sizeToSets(n, cfg.XBTBWays)
-			s.Reset()
-			m := xbcore.New(cfg, o.FE).Run(s)
-			missV[i] = m.UopMissRate()
-			bwV[i] = m.Bandwidth()
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+			missV = append(missV, vals[i].XBC)
+			bwV = append(bwV, vals[i].TC)
 		}
 		t.AddRowf(n, stats.Mean(missV), stats.Mean(bwV))
 	}
 	return t, nil
+}
+
+// renamerCell is the journaled payload of one renamer-sweep cell.
+type renamerCell struct {
+	XBC float64
+	TC  float64
+	One float64 // XBC limited to one XB per cycle
 }
 
 // RenamerSweep varies the renamer width. The paper fixes it at 8, where
@@ -66,35 +78,48 @@ func RenamerSweep(o Options) (*stats.Table, error) {
 	t := stats.NewTable(fmt.Sprintf("Renamer width sweep (%dK uops, traces: %s): bandwidth", o.Budget/1024, nameList(ws)),
 		"renamer", "XBC bw", "TC bw", "XBC 1/cyc bw")
 	for _, width := range widths {
+		width := width
 		fe := o.FE
 		fe.RenamerWidth = width
-		xbcV := make([]float64, len(ws))
-		tcV := make([]float64, len(ws))
-		oneV := make([]float64, len(ws))
-		errs := make([]error, len(ws))
-		forEach(ws, o.Parallel, func(i int, w workload.Workload) {
-			s, err := stream(o, w)
-			if err != nil {
-				errs[i] = err
-				return
+		vals, ok, err := runCells(o, "renamer", o.tag(fmt.Sprintf("r%d", width)), ws,
+			func(ctx context.Context, w workload.Workload) (renamerCell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return renamerCell{}, err
+				}
+				s.Reset()
+				xb := xbcore.New(xbcore.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
+				s.Reset()
+				tb := tcache.New(tcache.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
+				one := xbcore.DefaultConfig(o.Budget)
+				one.XBsPerCycle = 1
+				s.Reset()
+				ob := xbcore.New(one, fe).Run(s).Bandwidth()
+				return renamerCell{XBC: xb, TC: tb, One: ob}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		var xbcV, tcV, oneV []float64
+		for i := range vals {
+			if !ok[i] {
+				continue
 			}
-			s.Reset()
-			xbcV[i] = xbcore.New(xbcore.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
-			s.Reset()
-			tcV[i] = tcache.New(tcache.DefaultConfig(o.Budget), fe).Run(s).Bandwidth()
-			one := xbcore.DefaultConfig(o.Budget)
-			one.XBsPerCycle = 1
-			s.Reset()
-			oneV[i] = xbcore.New(one, fe).Run(s).Bandwidth()
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+			xbcV = append(xbcV, vals[i].XBC)
+			tcV = append(tcV, vals[i].TC)
+			oneV = append(oneV, vals[i].One)
 		}
 		t.AddRowf(width, stats.Mean(xbcV), stats.Mean(tcV), stats.Mean(oneV))
 	}
 	return t, nil
+}
+
+// ctxSwitchCell is the journaled payload of one workload-pair cell.
+type ctxSwitchCell struct {
+	XBCSolo  float64
+	TCSolo   float64
+	XBCMixed []float64 // per quantum
+	TCMixed  []float64
 }
 
 // ContextSwitch interleaves pairs of workloads in quanta (modelling
@@ -104,46 +129,72 @@ func ContextSwitch(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	pairs := [][2]string{{"gcc", "word"}, {"li", "doom"}, {"perl", "excel"}}
 	quanta := []int{5000, 20000, 100000}
+	names := make([]string, len(pairs))
+	for i, p := range pairs {
+		names[i] = p[0] + "+" + p[1]
+	}
+	vals, ok, err := runNamedCells(o, "ctxswitch", o.tag(""), names,
+		func(ctx context.Context, i int) (ctxSwitchCell, error) {
+			pair := pairs[i]
+			wa, found := workload.ByName(pair[0])
+			if !found {
+				return ctxSwitchCell{}, fmt.Errorf("experiments: unknown workload %q", pair[0])
+			}
+			wb, found := workload.ByName(pair[1])
+			if !found {
+				return ctxSwitchCell{}, fmt.Errorf("experiments: unknown workload %q", pair[1])
+			}
+			sa, err := stream(o, wa)
+			if err != nil {
+				return ctxSwitchCell{}, err
+			}
+			sb, err := stream(o, wb)
+			if err != nil {
+				return ctxSwitchCell{}, err
+			}
+			runXBC := func(s *trace.Stream) float64 {
+				s.Reset()
+				return xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
+			}
+			runTC := func(s *trace.Stream) float64 {
+				s.Reset()
+				return tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
+			}
+			cell := ctxSwitchCell{
+				XBCSolo: (runXBC(sa) + runXBC(sb)) / 2,
+				TCSolo:  (runTC(sa) + runTC(sb)) / 2,
+			}
+			for _, q := range quanta {
+				mixed, err := trace.Interleave(q, sa, sb)
+				if err != nil {
+					return ctxSwitchCell{}, err
+				}
+				cell.XBCMixed = append(cell.XBCMixed, runXBC(mixed))
+				cell.TCMixed = append(cell.TCMixed, runTC(mixed))
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(fmt.Sprintf("Context-switch sensitivity (%dK uops): miss%%", o.Budget/1024),
 		"pair", "quantum", "XBC solo", "XBC mixed", "TC solo", "TC mixed")
-	for _, pair := range pairs {
-		wa, ok := workload.ByName(pair[0])
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown workload %q", pair[0])
+	for i := range pairs {
+		if !ok[i] || len(vals[i].XBCMixed) != len(quanta) {
+			continue
 		}
-		wb, ok := workload.ByName(pair[1])
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown workload %q", pair[1])
-		}
-		sa, err := stream(o, wa)
-		if err != nil {
-			return nil, err
-		}
-		sb, err := stream(o, wb)
-		if err != nil {
-			return nil, err
-		}
-		// Solo baselines: average of the two runs.
-		runXBC := func(s *trace.Stream) float64 {
-			s.Reset()
-			return xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
-		}
-		runTC := func(s *trace.Stream) float64 {
-			s.Reset()
-			return tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).UopMissRate()
-		}
-		xbcSolo := (runXBC(sa) + runXBC(sb)) / 2
-		tcSolo := (runTC(sa) + runTC(sb)) / 2
-		for _, q := range quanta {
-			mixed, err := trace.Interleave(q, sa, sb)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowf(pair[0]+"+"+pair[1], q, xbcSolo, runXBC(mixed), tcSolo, runTC(mixed))
+		for qi, q := range quanta {
+			t.AddRowf(names[i], q, vals[i].XBCSolo, vals[i].XBCMixed[qi], vals[i].TCSolo, vals[i].TCMixed[qi])
 		}
 		t.AddSeparator()
 	}
 	return t, nil
+}
+
+// phasesCell is the journaled payload of one phases cell.
+type phasesCell struct {
+	XBC frontend.PhaseBreakdown
+	TC  frontend.PhaseBreakdown
 }
 
 // Phases reproduces the paper's section-1 phase discussion: the fraction
@@ -155,22 +206,41 @@ func Phases(o Options) (*stats.Table, error) {
 	if len(ws) == len(workload.All()) {
 		ws = pickRepresentatives()
 	}
+	vals, ok, err := runCells(o, "phases", o.tag(""), ws,
+		func(ctx context.Context, w workload.Workload) (phasesCell, error) {
+			s, err := stream(o, w)
+			if err != nil {
+				return phasesCell{}, err
+			}
+			s.Reset()
+			px := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
+			s.Reset()
+			pt := tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
+			return phasesCell{XBC: px, TC: pt}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(fmt.Sprintf("Execution phases (%dK uops, traces: %s): steady / transition / stall %%", o.Budget/1024, nameList(ws)),
 		"trace", "XBC", "TC")
-	for _, w := range ws {
-		s, err := stream(o, w)
-		if err != nil {
-			return nil, err
+	for i, w := range ws {
+		if !ok[i] {
+			continue
 		}
-		s.Reset()
-		px := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
-		s.Reset()
-		pt := tcache.New(tcache.DefaultConfig(o.Budget), o.FE).Run(s).Phases()
+		px, pt := vals[i].XBC, vals[i].TC
 		t.AddRow(w.Name,
 			fmt.Sprintf("%.0f / %.0f / %.0f", px.SteadyPct, px.TransitionPct, px.StallPct),
 			fmt.Sprintf("%.0f / %.0f / %.0f", pt.SteadyPct, pt.TransitionPct, pt.StallPct))
 	}
 	return t, nil
+}
+
+// ipcCell is the journaled payload of one (size, workload) IPC cell.
+type ipcCell struct {
+	XBC    float64 // estimated uops/cycle
+	TC     float64
+	XBCMis float64 // mispredictions per 1000 uops
+	TCMis  float64
 }
 
 // IPCEstimate translates frontend metrics into whole-core IPC estimates
@@ -189,28 +259,44 @@ func IPCEstimate(o Options) (*stats.Table, error) {
 			core.IssueWidth, core.WindowSize, nameList(ws)),
 		"size (uops)", "XBC", "TC", "XBC gain %", "XBC mis/Ku", "TC mis/Ku")
 	for _, size := range o.Sizes {
+		size := size
+		vals, ok, err := runCells(o, "ipc", o.tag(fmt.Sprintf("size%d", size)), ws,
+			func(ctx context.Context, w workload.Workload) (ipcCell, error) {
+				s, err := stream(o, w)
+				if err != nil {
+					return ipcCell{}, err
+				}
+				s.Reset()
+				mx := xbcore.New(xbcore.DefaultConfig(size), o.FE).Run(s)
+				s.Reset()
+				mt := tcache.New(tcache.DefaultConfig(size), o.FE).Run(s)
+				ex, err := interval.FromMetrics(mx, core)
+				if err != nil {
+					return ipcCell{}, err
+				}
+				et, err := interval.FromMetrics(mt, core)
+				if err != nil {
+					return ipcCell{}, err
+				}
+				return ipcCell{
+					XBC:    ex.UopsPerCycle,
+					TC:     et.UopsPerCycle,
+					XBCMis: 1000 * float64(mx.CondMiss+mx.IndMiss+mx.RetMiss) / float64(mx.Uops),
+					TCMis:  1000 * float64(mt.CondMiss+mt.IndMiss+mt.RetMiss) / float64(mt.Uops),
+				}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var xs, ts, xm, tm []float64
-		for _, w := range ws {
-			s, err := stream(o, w)
-			if err != nil {
-				return nil, err
+		for i := range vals {
+			if !ok[i] {
+				continue
 			}
-			s.Reset()
-			mx := xbcore.New(xbcore.DefaultConfig(size), o.FE).Run(s)
-			s.Reset()
-			mt := tcache.New(tcache.DefaultConfig(size), o.FE).Run(s)
-			ex, err := interval.FromMetrics(mx, core)
-			if err != nil {
-				return nil, err
-			}
-			et, err := interval.FromMetrics(mt, core)
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, ex.UopsPerCycle)
-			ts = append(ts, et.UopsPerCycle)
-			xm = append(xm, 1000*float64(mx.CondMiss+mx.IndMiss+mx.RetMiss)/float64(mx.Uops))
-			tm = append(tm, 1000*float64(mt.CondMiss+mt.IndMiss+mt.RetMiss)/float64(mt.Uops))
+			xs = append(xs, vals[i].XBC)
+			ts = append(ts, vals[i].TC)
+			xm = append(xm, vals[i].XBCMis)
+			tm = append(tm, vals[i].TCMis)
 		}
 		ax, at := stats.Mean(xs), stats.Mean(ts)
 		t.AddRowf(fmt.Sprintf("%dK", size/1024), ax, at, 100*(stats.Ratio(ax, at)-1),

@@ -14,6 +14,7 @@ package frontend
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"xbc/internal/trace"
 )
@@ -202,3 +203,43 @@ type Frontend interface {
 // Builder constructs a fresh frontend instance for one run; the runner
 // uses it to sweep configurations.
 type Builder func() Frontend
+
+// Checked is implemented by frontends that can report robustness or
+// invariant violations as errors instead of panicking (e.g. the XBC with
+// its cycle-level invariant checker enabled).
+type Checked interface {
+	// RunChecked replays the stream like Run but returns an error on the
+	// first detected violation instead of panicking. The returned metrics
+	// cover the run up to the violation.
+	RunChecked(s *trace.Stream) (Metrics, error)
+}
+
+// PanicError wraps a panic recovered from a frontend run: hostile input
+// that crashed a model is degraded into an inspectable error.
+type PanicError struct {
+	Frontend  string
+	Recovered any
+	Stack     string
+}
+
+// Error renders the recovered panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("frontend %s: panic: %v", e.Frontend, e.Recovered)
+}
+
+// RunSafe replays the stream through f with panic isolation: any panic is
+// recovered into a *PanicError, so hostile input yields an error or
+// degraded metrics, never a crash. Frontends implementing Checked run
+// through RunChecked, surfacing invariant violations the same way.
+func RunSafe(f Frontend, s *trace.Stream) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = Metrics{}
+			err = &PanicError{Frontend: f.Name(), Recovered: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if c, ok := f.(Checked); ok {
+		return c.RunChecked(s)
+	}
+	return f.Run(s), nil
+}

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal is the JSON checkpoint of a sweep: one line per completed cell,
+// carrying the cell identity and its result payload. A killed run leaves a
+// valid journal behind (each line is synced after write, and a torn final
+// line is tolerated on load), so the next run can resume exactly where the
+// previous one died — completed cells are replayed from their recorded
+// payloads instead of being re-simulated.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+// journalLine is the on-disk record for one completed cell.
+type journalLine struct {
+	Cell
+	CompletedAt time.Time       `json:"completed_at"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+}
+
+// OpenJournal opens (or creates) the journal at path. With resume set,
+// existing entries are loaded and will be treated as completed; otherwise
+// the file is truncated and the sweep starts from scratch.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path, done: make(map[string]json.RawMessage)}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load reads the existing journal, tolerating a torn trailing line (the
+// signature of a killed process).
+func (j *Journal) load() error {
+	f, err := os.Open(j.path)
+	if os.IsNotExist(err) {
+		return nil // nothing to resume yet
+	}
+	if err != nil {
+		return fmt.Errorf("runner: reading journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec journalLine
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn or corrupt line ends the usable prefix; everything
+			// before it still resumes.
+			fmt.Fprintf(os.Stderr, "runner: journal %s line %d corrupt, resuming from the %d cells before it\n",
+				j.path, line, len(j.done))
+			return nil
+		}
+		j.done[rec.Cell.Key()] = rec.Payload
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("runner: scanning journal: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the recorded payload for a completed cell.
+func (j *Journal) Lookup(c Cell) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.done[c.Key()]
+	return raw, ok
+}
+
+// Len reports how many completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Record appends one completed cell with its payload and syncs the file,
+// so a kill immediately after never loses the cell.
+func (j *Journal) Record(c Cell, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("runner: marshaling payload for %s: %w", c, err)
+	}
+	line, err := json.Marshal(journalLine{Cell: c, CompletedAt: time.Now().UTC(), Payload: raw})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runner: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("runner: writing journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: syncing journal: %w", err)
+	}
+	j.done[c.Key()] = raw
+	return nil
+}
+
+// Close flushes and closes the journal file; Lookup keeps working on the
+// in-memory index.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

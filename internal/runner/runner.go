@@ -1,0 +1,451 @@
+// Package runner is the fault-tolerant execution layer underneath every
+// experiment driver: it fans a set of (figure, workload, config) cells out
+// over a bounded worker pool while providing the robustness guarantees a
+// paper-scale sweep needs and a bare sync.WaitGroup does not:
+//
+//   - context plumbing: cancelling the parent context (e.g. on SIGINT via
+//     NotifyContext) drains the sweep gracefully — in-flight cells run to
+//     completion and are reported, queued cells are marked aborted instead
+//     of silently vanishing;
+//   - panic isolation: a panicking cell is converted into a structured
+//     CellError carrying the cell identity and the goroutine stack, so one
+//     bad configuration degrades that cell, not the whole sweep;
+//   - per-cell deadlines: an optional timeout bounds each attempt; a cell
+//     that overruns is abandoned and reported as failed;
+//   - bounded retry with capped exponential backoff for transient errors;
+//   - checkpointing: an optional Journal records each completed cell (with
+//     its result payload), and a resumed run replays completed cells from
+//     the journal instead of re-running them.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Cell identifies one unit of sweep work: one workload simulated under one
+// configuration for one figure/study. The triple is the checkpoint
+// identity — two runs that produce the same Key refer to the same work.
+type Cell struct {
+	Figure   string `json:"figure"`
+	Workload string `json:"workload"`
+	Config   string `json:"config,omitempty"`
+}
+
+// Key returns the journal identity of the cell.
+func (c Cell) Key() string { return c.Figure + "\x1f" + c.Workload + "\x1f" + c.Config }
+
+// String renders the cell for log lines.
+func (c Cell) String() string {
+	if c.Config == "" {
+		return c.Figure + "/" + c.Workload
+	}
+	return c.Figure + "/" + c.Workload + "/" + c.Config
+}
+
+// CellError is the structured failure of one cell: what was running, what
+// went wrong, and — when the failure was a panic — the recovered value and
+// goroutine stack.
+type CellError struct {
+	Cell  Cell
+	Err   error  // underlying error (for panics: a synthesized error)
+	Stack string // non-empty only for recovered panics
+}
+
+// Error renders the failure with its cell identity.
+func (e *CellError) Error() string {
+	if e.Stack != "" {
+		return fmt.Sprintf("cell %s: panic: %v", e.Cell, e.Err)
+	}
+	return fmt.Sprintf("cell %s: %v", e.Cell, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Status classifies how a cell ended.
+type Status int
+
+const (
+	// StatusDone means the cell ran to completion in this run.
+	StatusDone Status = iota
+	// StatusSkipped means the cell was replayed from the journal.
+	StatusSkipped
+	// StatusFailed means every attempt errored, panicked, or timed out.
+	StatusFailed
+	// StatusAborted means the run was cancelled before the cell started.
+	StatusAborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusDone:
+		return "done"
+	case StatusSkipped:
+		return "skipped"
+	case StatusFailed:
+		return "failed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// CellResult is the outcome of one cell.
+type CellResult struct {
+	Cell     Cell
+	Status   Status
+	Err      *CellError // set when Status is StatusFailed
+	Attempts int        // how many attempts ran (0 for skipped/aborted)
+	// Payload is the value the cell function returned (StatusDone), or the
+	// raw journal payload as json.RawMessage (StatusSkipped).
+	Payload any
+}
+
+// Task pairs a cell identity with the function that computes it. Run
+// receives a context that is cancelled when the sweep is cancelled or the
+// cell's deadline expires; long cell functions should check it between
+// stages. The returned payload is journaled (JSON) when a Journal is
+// configured, so it must be JSON-marshalable in that case.
+type Task struct {
+	Cell Cell
+	Run  func(ctx context.Context) (any, error)
+}
+
+// Options configures a sweep execution.
+type Options struct {
+	// Parallel bounds concurrent cells (default 4).
+	Parallel int
+	// CellTimeout bounds each attempt of each cell (0 = unbounded). A cell
+	// that ignores its context and overruns is abandoned: its goroutine is
+	// leaked and the cell reports failed with context.DeadlineExceeded.
+	CellTimeout time.Duration
+	// Retries is how many times a failed attempt is retried (default 0).
+	// Panics are never retried: a deterministic simulator that panicked
+	// once will panic again.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per retry and
+	// is capped at MaxBackoff. Defaults: 100ms, capped at 2s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// RetryIf decides whether an error is transient. The default retries
+	// everything except panics, cancellations, and deadline overruns.
+	RetryIf func(error) bool
+	// Journal, when non-nil, is consulted before running a cell (completed
+	// cells are skipped and replayed) and appended to after each completion.
+	Journal *Journal
+	// Report, when non-nil, accumulates every cell result across multiple
+	// Run invocations (e.g. all figures of one CLI run).
+	Report *Report
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallel <= 0 {
+		o.Parallel = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.RetryIf == nil {
+		o.RetryIf = DefaultRetryIf
+	}
+	return o
+}
+
+// DefaultRetryIf retries any error that is not a panic, a cancellation, or
+// a deadline overrun.
+func DefaultRetryIf(err error) bool {
+	var ce *CellError
+	if errors.As(err, &ce) && ce.Stack != "" {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run executes the tasks with bounded parallelism and returns one result
+// per task, index-aligned. It never returns early: every task is accounted
+// for as done, skipped, failed, or aborted. Cancelling ctx stops new cells
+// from starting (graceful drain); in-flight cells run to completion and
+// are still reported and journaled.
+func Run(ctx context.Context, o Options, tasks []Task) []CellResult {
+	o = o.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]CellResult, len(tasks))
+	sem := make(chan struct{}, o.Parallel)
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		results[i].Cell = t.Cell
+		if o.Journal != nil {
+			if raw, ok := o.Journal.Lookup(t.Cell); ok {
+				results[i].Status = StatusSkipped
+				results[i].Payload = raw
+				continue
+			}
+		}
+		select {
+		case <-ctx.Done():
+			results[i].Status = StatusAborted
+			continue
+		case sem <- struct{}{}:
+			// A cancellation that raced the semaphore acquire still wins:
+			// the drain must not start new cells.
+			if ctx.Err() != nil {
+				<-sem
+				results[i].Status = StatusAborted
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(i int, t Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = o.runCell(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	if o.Report != nil {
+		o.Report.Add(results...)
+	}
+	return results
+}
+
+// runCell executes one cell through the attempt/retry loop.
+func (o Options) runCell(ctx context.Context, t Task) CellResult {
+	res := CellResult{Cell: t.Cell}
+	backoff := o.Backoff
+	for {
+		res.Attempts++
+		payload, err := o.attempt(ctx, t)
+		if err == nil {
+			res.Status = StatusDone
+			res.Payload = payload
+			if o.Journal != nil {
+				if jerr := o.Journal.Record(t.Cell, payload); jerr != nil {
+					// A journal write failure must not fail the cell; the
+					// result is in hand. It just won't be resumable.
+					fmt.Fprintf(os.Stderr, "runner: journal: %v\n", jerr)
+				}
+			}
+			return res
+		}
+		ce, ok := err.(*CellError)
+		if !ok {
+			ce = &CellError{Cell: t.Cell, Err: err}
+		}
+		res.Err = ce
+		// A cancellation surfacing through the cell means the sweep is
+		// draining: the cell did not complete and will not be retried.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			res.Status = StatusAborted
+			return res
+		}
+		if res.Attempts > o.Retries || !o.RetryIf(err) {
+			res.Status = StatusFailed
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			res.Status = StatusAborted
+			return res
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > o.MaxBackoff {
+			backoff = o.MaxBackoff
+		}
+	}
+}
+
+// attempt runs the cell function once with panic isolation and the
+// per-cell deadline.
+func (o Options) attempt(ctx context.Context, t Task) (any, error) {
+	actx := ctx
+	var cancel context.CancelFunc
+	if o.CellTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, o.CellTimeout)
+		defer cancel()
+	}
+	type outcome struct {
+		payload any
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &CellError{
+					Cell:  t.Cell,
+					Err:   fmt.Errorf("panic: %v", r),
+					Stack: string(debug.Stack()),
+				}}
+			}
+		}()
+		p, err := t.Run(actx)
+		ch <- outcome{payload: p, err: err}
+	}()
+	if o.CellTimeout <= 0 {
+		out := <-ch
+		return out.payload, out.err
+	}
+	select {
+	case out := <-ch:
+		return out.payload, out.err
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// Parent cancellation: graceful drain waits for the cell.
+			out := <-ch
+			return out.payload, out.err
+		}
+		// Deadline overrun by a cell ignoring its context: abandon it.
+		return nil, &CellError{Cell: t.Cell, Err: fmt.Errorf("cell exceeded %v: %w", o.CellTimeout, context.DeadlineExceeded)}
+	}
+}
+
+// Report accumulates cell results across Run invocations. It is safe for
+// concurrent use.
+type Report struct {
+	mu    sync.Mutex
+	cells []CellResult
+}
+
+// Add appends results to the report.
+func (r *Report) Add(results ...CellResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells = append(r.cells, results...)
+}
+
+// Cells returns a copy of the accumulated results.
+func (r *Report) Cells() []CellResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]CellResult(nil), r.cells...)
+}
+
+// Counts tallies the results per status.
+func (r *Report) Counts() (done, skipped, failed, aborted int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cells {
+		switch c.Status {
+		case StatusDone:
+			done++
+		case StatusSkipped:
+			skipped++
+		case StatusFailed:
+			failed++
+		case StatusAborted:
+			aborted++
+		}
+	}
+	return
+}
+
+// Failures returns the failed cells.
+func (r *Report) Failures() []CellResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []CellResult
+	for _, c := range r.cells {
+		if c.Status == StatusFailed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err returns the first failed cell's error, or nil when every cell
+// completed (ran, was replayed, or was cleanly aborted).
+func (r *Report) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cells {
+		if c.Status == StatusFailed && c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line account of the run suitable for a CLI
+// epilogue, e.g. "42 cells: 40 done, 2 aborted".
+func (r *Report) Summary() string {
+	done, skipped, failed, aborted := r.Counts()
+	total := done + skipped + failed + aborted
+	parts := []string{}
+	add := func(n int, label string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, label))
+		}
+	}
+	add(done, "done")
+	add(skipped, "resumed from journal")
+	add(failed, "failed")
+	add(aborted, "aborted")
+	if len(parts) == 0 {
+		return "0 cells"
+	}
+	return fmt.Sprintf("%d cells: %s", total, strings.Join(parts, ", "))
+}
+
+// Retry runs fn up to attempts times, waiting backoff (doubled per retry,
+// capped at maxBackoff) between attempts; it is the primitive behind the
+// runner's retry loop, exported for one-shot transient operations such as
+// trace-file IO. It returns nil on the first success, the last error after
+// exhaustion, or ctx.Err() if cancelled while waiting.
+func Retry(ctx context.Context, attempts int, backoff, maxBackoff time.Duration, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// NotifyContext returns a context cancelled on SIGINT/SIGTERM, wired for
+// the graceful-drain behavior of Run: the first signal stops new cells and
+// lets in-flight ones finish; a second signal kills the process through
+// the default handler (signal.NotifyContext unregisters on cancel).
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

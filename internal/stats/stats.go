@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -110,6 +111,33 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	h.total += other.total
 	h.sum += other.sum
+}
+
+// histogramJSON is the checkpoint wire form of a Histogram; the unexported
+// fields need explicit marshalling so experiment journals can round-trip
+// Figure-1 payloads.
+type histogramJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	Total   uint64   `json:"total"`
+	Sum     float64  `json:"sum"`
+}
+
+// MarshalJSON encodes the histogram for checkpoint journals.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Buckets: h.buckets, Total: h.total, Sum: h.sum})
+}
+
+// UnmarshalJSON restores a journaled histogram.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Buckets) == 0 {
+		v.Buckets = make([]uint64, 1)
+	}
+	h.buckets, h.total, h.sum = v.Buckets, v.Total, v.Sum
+	return nil
 }
 
 // Reset clears all samples.

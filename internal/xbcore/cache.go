@@ -1,6 +1,8 @@
 package xbcore
 
 import (
+	"fmt"
+
 	"xbc/internal/isa"
 )
 
@@ -97,6 +99,10 @@ type Cache struct {
 	lines   []line // sets * banks * ways
 	entries map[isa.Addr]*entry
 	tick    uint64
+
+	// checkErr is the first violation recorded by the insert-time checks
+	// (Config.Check only); the run's invariant checker surfaces it.
+	checkErr error
 
 	// Statistics.
 	Allocs       uint64
@@ -319,7 +325,17 @@ func (c *Cache) Insert(endIP isa.Addr, rseq []isa.UopID, avoidBanks uint) (id ui
 		// reverse-order storage means nothing moves: rewrite the boundary
 		// chunk (it gains uops) and add head chunks.
 		c.Extensions++
+		var oldRseq []isa.UopID
+		if c.cfg.Check {
+			oldRseq = append(oldRseq, bestV.rseq...)
+		}
 		bestV.rseq = append(bestV.rseq[:0], rseq...)
+		if c.cfg.Check && c.checkErr == nil {
+			if kept := commonReversePrefix(bestV.rseq, oldRseq); kept != len(oldRseq) {
+				c.checkErr = fmt.Errorf("xbcore: check: head extension of %#x moved stored uops (kept %d of %d)",
+					endIP, kept, len(oldRseq))
+			}
+		}
 		resident := c.materialize(set, e, bestV, len(rseq), avoidBanks, true)
 		_ = resident // extension always writes at least the boundary chunk
 		return bestV.id, InsertExtended, false
@@ -338,6 +354,10 @@ func (c *Cache) Insert(endIP isa.Addr, rseq []isa.UopID, avoidBanks uint) (id ui
 		return v.id, InsertNew, false
 	}
 }
+
+// CheckErr returns the first violation the insert-time checks recorded.
+// Always nil unless Config.Check is set.
+func (c *Cache) CheckErr() error { return c.checkErr }
 
 func (c *Cache) newVariant(e *entry, rseq []isa.UopID) *variant {
 	v := &variant{id: e.nextID, rseq: append([]isa.UopID(nil), rseq...)}

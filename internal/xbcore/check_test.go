@@ -1,0 +1,140 @@
+package xbcore
+
+import (
+	"strings"
+	"testing"
+
+	"xbc/internal/frontend"
+	"xbc/internal/isa"
+)
+
+// checkedConfig returns the paper configuration with the invariant checker
+// on.
+func checkedConfig(uopBudget int) Config {
+	cfg := DefaultConfig(uopBudget)
+	cfg.Check = true
+	return cfg
+}
+
+func TestCheckedRunCleanStream(t *testing.T) {
+	// A well-formed stream must pass every invariant, and the checker must
+	// be purely observational: metrics identical to an unchecked run.
+	s := xbcTestStream(t, 11, 150_000)
+	s.Reset()
+	plain := New(DefaultConfig(16*1024), frontend.DefaultConfig()).Run(s)
+	s.Reset()
+	checked, err := New(checkedConfig(16*1024), frontend.DefaultConfig()).RunChecked(s)
+	if err != nil {
+		t.Fatalf("checked run failed on a clean stream: %v", err)
+	}
+	if plain.DeliveredUops != checked.DeliveredUops || plain.BuildUops != checked.BuildUops ||
+		plain.CondMiss != checked.CondMiss || plain.PenaltyCycles != checked.PenaltyCycles {
+		t.Fatalf("checker perturbed the run:\nplain   %+v\nchecked %+v", plain, checked)
+	}
+}
+
+func TestCheckedRunThroughRunSafe(t *testing.T) {
+	// frontend.RunSafe must route through RunChecked for a Checked
+	// frontend, and Run must panic on a violation so RunSafe can catch it.
+	s := xbcTestStream(t, 12, 60_000)
+	s.Reset()
+	if _, err := frontend.RunSafe(New(checkedConfig(16*1024), frontend.DefaultConfig()), s); err != nil {
+		t.Fatalf("RunSafe on clean stream: %v", err)
+	}
+}
+
+func TestCheckerRejectsBadXB(t *testing.T) {
+	cfg := checkedConfig(16 * 1024)
+	cache, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newChecker(cfg, cache, NewXBTB(cfg))
+
+	over := dynXB{endIP: 0x100, uops: cfg.Quota + 1}
+	if err := k.checkXB(over); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Errorf("over-quota XB not rejected: %v", err)
+	}
+	empty := dynXB{endIP: 0x100, uops: 0}
+	if err := k.checkXB(empty); err == nil {
+		t.Error("zero-uop XB not rejected")
+	}
+	short := dynXB{endIP: 0x100, uops: 4, rseq: []isa.UopID{isa.Uop(0x100, 0)}}
+	if err := k.checkXB(short); err == nil || !strings.Contains(err.Error(), "rseq") {
+		t.Errorf("uops/rseq mismatch not rejected: %v", err)
+	}
+}
+
+func TestCheckerRejectsDanglingPointer(t *testing.T) {
+	cfg := checkedConfig(16 * 1024)
+	cache, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbtb := NewXBTB(cfg)
+	k := newChecker(cfg, cache, xbtb)
+
+	// A valid pointer into an address with no cache entry must trip the
+	// sweep.
+	e := xbtb.Ensure(0x200, isa.CondBranch)
+	e.Taken = Ptr{EndIP: 0xdead, Variant: 0, Offset: 4, Valid: true}
+	if err := k.sweep(); err == nil || !strings.Contains(err.Error(), "no cache entry") {
+		t.Fatalf("dangling pointer not caught: %v", err)
+	}
+
+	// Resolvable target, but the offset reaches past the stored length.
+	rseq := []isa.UopID{isa.Uop(0xdead, 1), isa.Uop(0xdead, 0)}
+	id, _, _ := cache.Insert(0xdead, rseq, 0)
+	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: len(rseq) + 1, Valid: true}
+	if err := k.sweep(); err == nil || !strings.Contains(err.Error(), "reaches") {
+		t.Fatalf("over-reaching offset not caught: %v", err)
+	}
+
+	// Dead variant id.
+	e.Taken = Ptr{EndIP: 0xdead, Variant: id + 99, Offset: 1, Valid: true}
+	if err := k.sweep(); err == nil || !strings.Contains(err.Error(), "variant") {
+		t.Fatalf("dead variant not caught: %v", err)
+	}
+
+	// A well-formed pointer passes.
+	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: len(rseq), Valid: true}
+	if err := k.sweep(); err != nil {
+		t.Fatalf("valid pointer rejected: %v", err)
+	}
+}
+
+func TestCheckerRejectsBadOffsetRange(t *testing.T) {
+	cfg := checkedConfig(16 * 1024)
+	cache, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newChecker(cfg, cache, NewXBTB(cfg))
+	// Taken/Fall offsets must be >= 1; PromotedTo may be 0.
+	zero := Ptr{EndIP: 0x300, Variant: 0, Offset: 0, Valid: true}
+	if err := k.checkPtr(0x400, "taken", zero, 1); err == nil {
+		t.Error("zero taken offset not rejected")
+	}
+	if err := k.checkPtr(0x400, "promoted-to", Ptr{EndIP: 0x300, Offset: -1, Valid: true}, 0); err == nil {
+		t.Error("negative promoted-to offset not rejected")
+	}
+}
+
+func TestHeadExtensionPreservationCheck(t *testing.T) {
+	// A legitimate case-2 insert must pass the reverse-prefix check.
+	cfg := checkedConfig(16 * 1024)
+	cache, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []isa.UopID{isa.Uop(0x500, 1), isa.Uop(0x500, 0)}
+	long := append(append([]isa.UopID(nil), short...), isa.Uop(0x4f0, 1), isa.Uop(0x4f0, 0))
+	cache.Insert(0x500, short, 0)
+	_, kind, _ := cache.Insert(0x500, long, 0)
+	if kind != InsertExtended {
+		t.Fatalf("insert kind %v, want extension", kind)
+	}
+	if err := cache.CheckErr(); err != nil {
+		t.Fatalf("legal head extension flagged: %v", err)
+	}
+}

@@ -70,6 +70,15 @@ type Config struct {
 	// directly, with the XBP/XBTB chain as fallback.
 	NextXB bool
 
+	// Check enables the cycle-level invariant checker: after every
+	// committed XB the run verifies the block quota, the bank-mask/offset
+	// consistency of the touched cache entry, and the wired XBTB pointers;
+	// a full cache/XBTB sweep runs periodically and at end of stream. A
+	// violation ends the run: RunChecked returns it as an error (Run
+	// panics — use frontend.RunSafe to convert). Off in production runs;
+	// intended for tests and hostile-input hardening.
+	Check bool
+
 	// Promotion thresholds on the 7-bit counter (0..127). A branch
 	// promotes taken at >= PromoteHi, promotes not-taken at <= PromoteLo
 	// (the paper's 126/1 = at least 99.2% biased). DemoteSlack is the

@@ -36,6 +36,25 @@ type promObs struct {
 // promQuery reports the promotion state of the conditional branch at ip.
 type promQuery func(ip isa.Addr) (dir, promoted bool)
 
+// clampUops bounds a record's uop count into [1, min(MaxUopsPerInst,
+// quota)]. Well-formed streams are unaffected; hostile records (zero or
+// oversized counts, e.g. from corrupt trace input) degrade into a legal
+// count instead of producing empty or over-quota blocks, which would
+// otherwise panic the fill unit or stall the cut loop.
+func clampUops(r trace.Rec, quota int) int {
+	n := int(r.NumUops)
+	if n < 1 {
+		n = 1
+	}
+	if n > isa.MaxUopsPerInst {
+		n = isa.MaxUopsPerInst
+	}
+	if n > quota {
+		n = quota
+	}
+	return n
+}
+
 // cutXB cuts the next dynamic XB from recs starting at index i, honouring
 // the quota and the current promotion state.
 func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
@@ -43,7 +62,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 	j := i
 	for j < len(recs) {
 		r := recs[j]
-		n := int(r.NumUops)
+		n := clampUops(r, quota)
 		if xb.uops+n > quota {
 			// Quota cut before r. The block's identity comes from its
 			// last instruction.
@@ -61,7 +80,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 			} else {
 				xb.class = isa.Seq
 			}
-			xb.buildRseq(recs)
+			xb.buildRseq(recs, quota)
 			return xb
 		}
 		xb.uops += n
@@ -84,7 +103,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 				xb.taken = r.Taken
 				xb.endPromoted = true
 				xb.violated = true
-				xb.buildRseq(recs)
+				xb.buildRseq(recs, quota)
 				return xb
 			}
 		}
@@ -92,7 +111,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 		xb.endIP = r.IP
 		xb.class = r.Class
 		xb.taken = r.Taken
-		xb.buildRseq(recs)
+		xb.buildRseq(recs, quota)
 		return xb
 	}
 	// Stream exhausted mid-block.
@@ -102,16 +121,17 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 		xb.endIP = last.IP
 		xb.class = isa.Seq
 	}
-	xb.buildRseq(recs)
+	xb.buildRseq(recs, quota)
 	return xb
 }
 
-// buildRseq fills the reverse-order uop identity sequence.
-func (xb *dynXB) buildRseq(recs []trace.Rec) {
+// buildRseq fills the reverse-order uop identity sequence, using the same
+// clamped per-record uop counts as the cut loop so len(rseq) == uops.
+func (xb *dynXB) buildRseq(recs []trace.Rec, quota int) {
 	xb.rseq = make([]isa.UopID, 0, xb.uops)
 	for k := xb.end - 1; k >= xb.start; k-- {
 		r := recs[k]
-		for u := int(r.NumUops) - 1; u >= 0; u-- {
+		for u := clampUops(r, quota) - 1; u >= 0; u-- {
 			xb.rseq = append(xb.rseq, isa.Uop(r.IP, u))
 		}
 	}

@@ -107,13 +107,11 @@ func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, confl
 	if orders > len(v.refs) {
 		orders = len(v.refs)
 	}
-	// Banks currently used by this variant's resident chunks.
-	used := uint(0)
-	for o := 0; o < orders; o++ {
-		if v.refs[o].bank >= 0 {
-			used |= 1 << uint(v.refs[o].bank)
-		}
-	}
+	// Banks currently used by this variant's resident chunks — over ALL
+	// orders, not just the conflicting fetch's entry depth: moving a line
+	// into a bank holding a higher-order chunk would leave the variant
+	// unfetchable in one cycle (two chunks in one bank).
+	used := c.residentBanksFrom(set, endIP, v, 0)
 	for o := 0; o < orders; o++ {
 		ref := v.refs[o]
 		if ref.bank < 0 || conflictBanks&(1<<uint(ref.bank)) == 0 {

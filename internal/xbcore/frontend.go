@@ -81,12 +81,29 @@ type runState struct {
 	reason  string
 }
 
-// Run replays the stream through the XBC frontend.
+// Run replays the stream through the XBC frontend. With Config.Check set
+// it panics on the first invariant violation; use RunChecked (or
+// frontend.RunSafe) to receive violations as errors instead.
 func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
+	m, err := f.run(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RunChecked replays the stream like Run but returns the first invariant
+// violation (Config.Check) as an error; the returned metrics cover the run
+// up to the violation. It implements frontend.Checked.
+func (f *Frontend) RunChecked(s *trace.Stream) (frontend.Metrics, error) {
+	return f.run(s)
+}
+
+func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 	var m frontend.Metrics
 	cache, err := NewCache(f.cfg)
 	if err != nil {
-		panic(err)
+		return m, err
 	}
 	st := &runState{
 		cache:   cache,
@@ -99,6 +116,10 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	}
 	if f.cfg.NextXB {
 		st.nxb = NewXiBTB(12, 10)
+	}
+	var chk *checker
+	if f.cfg.Check {
+		chk = newChecker(f.cfg, cache, st.xbtb)
 	}
 	recs := s.Recs
 	promoted := func(ip isa.Addr) (bool, bool) {
@@ -136,7 +157,19 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 
 		// Wire pointers from the previous XB to cur and roll the context.
 		f.commit(st, cur, &m)
+		if chk != nil {
+			if err := chk.afterCommit(cur, st.prevEntry); err != nil {
+				m.Finalize(f.fecfg)
+				return m, err
+			}
+		}
 		i = cur.end
+	}
+	if chk != nil {
+		if err := chk.sweep(); err != nil {
+			m.Finalize(f.fecfg)
+			return m, err
+		}
 	}
 
 	m.AddExtra("redundancy", st.cache.Redundancy())
@@ -159,7 +192,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 		m.AddExtra("reason_"+k, float64(v))
 	}
 	m.Finalize(f.fecfg)
-	return m
+	return m, nil
 }
 
 // resolvePrev predicts the previous XB's ending transfer, charges
@@ -464,4 +497,7 @@ func (f *Frontend) commit(st *runState, cur dynXB, m *frontend.Metrics) {
 	st.prevPromoted = cur.endPromoted
 }
 
-var _ frontend.Frontend = (*Frontend)(nil)
+var (
+	_ frontend.Frontend = (*Frontend)(nil)
+	_ frontend.Checked  = (*Frontend)(nil)
+)

@@ -21,6 +21,7 @@
 package xbc
 
 import (
+	"context"
 	"io"
 
 	"xbc/internal/bbtc"
@@ -30,6 +31,7 @@ import (
 	"xbc/internal/icfe"
 	"xbc/internal/interval"
 	"xbc/internal/program"
+	"xbc/internal/runner"
 	"xbc/internal/stats"
 	"xbc/internal/tcache"
 	"xbc/internal/trace"
@@ -292,3 +294,69 @@ type Summary = trace.Summary
 // DefaultExperimentOptions returns the evaluation defaults (all 21
 // workloads, 1M uops each, 32K budget, size sweep 8-64K).
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Robustness layer: panic-isolated runs, invariant checking, checkpoint
+// journals, and fault-injected streams for hardening tests.
+
+// PanicError wraps a panic recovered by RunSafe: which frontend crashed,
+// the recovered value, and the goroutine stack.
+type PanicError = frontend.PanicError
+
+// RunSafe replays the stream through f with panic isolation: hostile
+// input yields an error, never a crash. Frontends supporting invariant
+// checking (the XBC with Check enabled) surface violations as errors the
+// same way.
+func RunSafe(f Frontend, s *Stream) (Metrics, error) { return frontend.RunSafe(f, s) }
+
+// NewCheckedXBCFrontend returns an XBC frontend with cycle-level
+// invariant checking enabled; run it through RunSafe to observe
+// violations as errors.
+func NewCheckedXBCFrontend(uopBudget int) Frontend {
+	cfg := xbcore.DefaultConfig(uopBudget)
+	cfg.Check = true
+	return xbcore.New(cfg, frontend.DefaultConfig())
+}
+
+// Journal is a checkpoint journal for experiment sweeps: completed cells
+// are recorded as they finish and replayed on a resumed run.
+type Journal = runner.Journal
+
+// OpenJournal opens (resume=true) or truncates (resume=false) the
+// journal at path. Wire it into ExperimentOptions.Journal.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	return runner.OpenJournal(path, resume)
+}
+
+// RunReport accumulates per-cell outcomes (done / resumed / failed /
+// aborted) across experiment calls. Wire it into
+// ExperimentOptions.Report.
+type RunReport = runner.Report
+
+// NotifyContext returns a context cancelled on SIGINT/SIGTERM: wire it
+// into ExperimentOptions.Ctx for graceful mid-sweep cancellation (cells
+// in flight finish and are reported; queued cells abort).
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return runner.NotifyContext(parent)
+}
+
+// RetryIO runs fn up to attempts times with capped exponential backoff —
+// for transient trace-file IO around ReadTrace/WriteTrace.
+func RetryIO(ctx context.Context, attempts int, fn func() error) error {
+	return runner.Retry(ctx, attempts, 0, 0, fn)
+}
+
+// TruncateStream returns a copy of s cut to its first n records —
+// fault-injection input modelling a truncated trace file.
+func TruncateStream(s *Stream, n int) *Stream { return trace.Truncate(s, n) }
+
+// BitFlipStream returns a copy of s with pseudo-random field corruption
+// at the given per-record rate — fault-injection input modelling bit rot.
+func BitFlipStream(s *Stream, seed int64, rate float64) *Stream {
+	return trace.BitFlip(s, seed, rate)
+}
+
+// DiscontinuousStream returns a copy of s with every stride-th record
+// dropped — fault-injection input modelling gaps in a captured trace.
+func DiscontinuousStream(s *Stream, stride int) *Stream {
+	return trace.Discontinuities(s, stride)
+}
