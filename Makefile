@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench experiments calibrate fuzz clean
+# Where `make bench` records the frontend benchmark numbers; diff two
+# recordings with `make bench-compare OLD=... NEW=...`.
+BENCH_OUT ?= BENCH_PR2.json
+
+.PHONY: all check build test vet race bench bench-smoke bench-compare experiments calibrate fuzz clean
 
 all: check
 
 # The verification gate: build, vet, the full suite under the race
-# detector, and a short fuzz pass over the .xtr parser.
-check: build vet race
+# detector, a one-iteration pass over every benchmark (so a broken bench
+# cannot rot unnoticed), and a short fuzz pass over the .xtr parser.
+check: build vet race bench-smoke
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 10s
 
 build:
@@ -23,8 +28,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Frontend throughput + allocation benchmarks, recorded as JSON for
+# regression tracking (uops/s and allocs/op per frontend).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkFrontend' -benchtime 5x -o $(BENCH_OUT)
+
+# One iteration of every benchmark: a compile-and-run smoke, not a timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Diff two `make bench` recordings; fails on >10% allocs/op growth.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # Full reproduction of the paper's figures and the extension studies.
 experiments:

@@ -1,6 +1,7 @@
 package xbc_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -23,10 +24,13 @@ const benchUops = 200_000
 var (
 	streamOnce sync.Once
 	streams    map[string]*xbc.Stream
+	streamErr  error
 )
 
 // benchStream returns a cached stream so repeated benchmark iterations
-// and frontends measure simulation, not generation.
+// and frontends measure simulation, not generation. Generation failures
+// are recorded (not panicked) so every benchmark that needs the corpus
+// reports the original error instead of a confusing nil-map lookup.
 func benchStream(b *testing.B, name string) *xbc.Stream {
 	b.Helper()
 	streamOnce.Do(func() {
@@ -34,15 +38,20 @@ func benchStream(b *testing.B, name string) *xbc.Stream {
 		for _, n := range []string{"gcc", "word", "doom", "m88ksim"} {
 			w, ok := xbc.WorkloadByName(n)
 			if !ok {
-				panic("unknown benchmark workload " + n)
+				streamErr = fmt.Errorf("unknown benchmark workload %q", n)
+				return
 			}
 			s, err := xbc.Generate(w, benchUops)
 			if err != nil {
-				panic(err)
+				streamErr = fmt.Errorf("generate %q: %w", n, err)
+				return
 			}
 			streams[n] = s
 		}
 	})
+	if streamErr != nil {
+		b.Fatalf("benchmark corpus: %v", streamErr)
+	}
 	s, ok := streams[name]
 	if !ok {
 		b.Fatalf("unknown stream %q", name)

@@ -1,0 +1,205 @@
+// Command benchjson runs the repo's benchmarks and records the numbers
+// that matter for hot-path regressions — simulation throughput (uops/s)
+// and allocations per op — as stable JSON, so two runs can be diffed
+// mechanically instead of eyeballed.
+//
+// Usage:
+//
+//	benchjson -o BENCH_PR2.json                  # run frontend benches, write JSON
+//	benchjson -bench 'BenchmarkGenerate' -o g.json
+//	benchjson -in raw.txt -o old.json            # parse an existing `go test -bench` log
+//	benchjson -compare OLD.json NEW.json         # diff two recordings
+//
+// Compare mode prints per-benchmark deltas and exits 1 when any
+// benchmark's allocs/op grew by more than -max-alloc-regress percent
+// (default 10), making `make bench-compare` a usable CI gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	UopsPerS    float64 `json:"uops_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the recorded benchmark set.
+type File struct {
+	Bench      string            `json:"bench"`      // regexp the run used
+	BenchTime  string            `json:"benchtime"`  // iteration budget
+	Benchmarks map[string]Result `json:"benchmarks"` // name (sans Benchmark prefix) -> numbers
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		res := out[name]
+		fields := strings.Fields(m[3])
+		// Fields come in (value, unit) pairs: 123 ns/op 456 B/op ...
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "uops/s":
+				res.UopsPerS = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+func run(bench, benchtime string) (map[string]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	os.Stdout.Write(out) // keep the raw log visible
+	return parse(strings.NewReader(string(out)))
+}
+
+func load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func compare(oldPath, newPath string, maxAllocRegressPct float64) int {
+	oldF, err := load(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	for n := range newF.Benchmarks {
+		if _, ok := oldF.Benchmarks[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		log.Fatalf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", 100*(newV-oldV)/oldV)
+	}
+	fmt.Printf("%-22s %14s %14s %8s   %14s %14s %8s\n",
+		"benchmark", "allocs(old)", "allocs(new)", "delta", "uops/s(old)", "uops/s(new)", "delta")
+	regressions := 0
+	for _, n := range names {
+		o, nw := oldF.Benchmarks[n], newF.Benchmarks[n]
+		fmt.Printf("%-22s %14.0f %14.0f %8s   %14.0f %14.0f %8s\n",
+			n, o.AllocsPerOp, nw.AllocsPerOp, pct(o.AllocsPerOp, nw.AllocsPerOp),
+			o.UopsPerS, nw.UopsPerS, pct(o.UopsPerS, nw.UopsPerS))
+		if o.AllocsPerOp > 0 && nw.AllocsPerOp > o.AllocsPerOp*(1+maxAllocRegressPct/100) {
+			fmt.Printf("  ^ REGRESSION: allocs/op grew past the %.0f%% gate\n", maxAllocRegressPct)
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		bench     = flag.String("bench", "BenchmarkFrontend", "benchmark regexp to run")
+		benchtime = flag.String("benchtime", "5x", "benchtime passed to go test")
+		out       = flag.String("o", "", "output JSON file (default stdout)")
+		in        = flag.String("in", "", "parse an existing `go test -bench` log instead of running")
+		cmp       = flag.Bool("compare", false, "compare two JSON files: benchjson -compare OLD NEW")
+		maxAlloc  = flag.Float64("max-alloc-regress", 10, "compare: max allowed allocs/op growth in percent")
+	)
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -compare OLD.json NEW.json")
+		}
+		os.Exit(compare(flag.Arg(0), flag.Arg(1), *maxAlloc))
+	}
+
+	var (
+		results map[string]Result
+		err     error
+	)
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		results, err = parse(f)
+		f.Close()
+	} else {
+		results, err = run(*bench, *benchtime)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found")
+	}
+	f := File{Bench: *bench, BenchTime: *benchtime, Benchmarks: results}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(results))
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"xbc"
+	"xbc/internal/prof"
 	"xbc/internal/stats"
 )
 
@@ -46,11 +47,18 @@ func main() {
 		journal  = flag.String("journal", "", "checkpoint journal file (completed cells recorded as they finish)")
 		resume   = flag.Bool("resume", false, "with -journal: replay completed cells instead of recomputing")
 	)
+	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *resume && *journal == "" {
 		log.Fatal("-resume requires -journal FILE")
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	ctx, stop := xbc.NotifyContext(context.Background())
 	defer stop()
@@ -201,8 +209,10 @@ func main() {
 			msg += "; rerun with -journal FILE to make runs resumable"
 		}
 		fmt.Fprintln(os.Stderr, "experiments:", msg)
+		stopProf() // os.Exit skips deferred calls
 		os.Exit(130)
 	case failed > 0 || figErrs > 0:
+		stopProf()
 		os.Exit(1)
 	}
 }

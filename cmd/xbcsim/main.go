@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"xbc"
+	"xbc/internal/prof"
 )
 
 func main() {
@@ -34,7 +35,14 @@ func main() {
 		check   = flag.Bool("check", false, "enable cycle-level invariant checking (xbc only)")
 		verbose = flag.Bool("v", false, "print structure-specific extras")
 	)
+	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	var s *xbc.Stream
 	switch {

@@ -156,8 +156,9 @@ func (st *state) insertBlock(ip isa.Addr, insts []blockInst, uops int) {
 		}
 	}
 	st.tick++
-	stored := make([]blockInst, len(insts))
-	copy(stored, insts)
+	// Reuse the victim line's storage; inserts stop allocating once every
+	// line has been filled at least once.
+	stored := append(st.blocks[victim].insts[:0], insts...)
 	st.blocks[victim] = block{valid: true, startIP: ip, uops: uops, insts: stored, stamp: st.tick}
 }
 
@@ -192,8 +193,7 @@ func (st *state) insertTrace(ip isa.Addr, blocks []isa.Addr) {
 		}
 	}
 	st.tick++
-	stored := make([]isa.Addr, len(blocks))
-	copy(stored, blocks)
+	stored := append(st.traces[victim].blocks[:0], blocks...)
 	st.traces[victim] = ptrTrace{valid: true, startIP: ip, blocks: stored, stamp: st.tick}
 }
 
@@ -207,7 +207,13 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	}
 	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
 	preds := frontend.NewPredictorSet()
-	recs := s.Recs
+	recs := s.Records()
+	// Per-run build scratch, reused across episodes so the assembly loop
+	// does not allocate (insertBlock/insertTrace copy into line storage).
+	scratch := &buildScratch{
+		ptrs: make([]isa.Addr, 0, f.cfg.PtrsPerTrace),
+		fill: make([]blockInst, 0, f.cfg.BlockUops),
+	}
 	i := 0
 	inDelivery := false
 	for i < len(recs) {
@@ -226,7 +232,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 			inDelivery = false
 			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
 		}
-		i = f.build(st, recs, i, path, preds, &m)
+		i = f.build(st, recs, i, path, preds, scratch, &m)
 	}
 	// Pointer redundancy: average number of trace-table references per
 	// resident block (the redundancy the BBTC moves out of uop storage).
@@ -295,14 +301,22 @@ func (f *Frontend) deliver(st *state, recs []trace.Rec, i int, t *ptrTrace, pred
 	return i
 }
 
+// buildScratch holds the per-run trace-assembly buffers build reuses
+// across episodes.
+type buildScratch struct {
+	ptrs []isa.Addr
+	fill []blockInst
+}
+
 // build decodes blocks through the IC path, filling the block cache and
 // recording one pointer trace.
-func (f *Frontend) build(st *state, recs []trace.Rec, i int, path *frontend.ICPath, preds *frontend.PredictorSet, m *frontend.Metrics) int {
+func (f *Frontend) build(st *state, recs []trace.Rec, i int, path *frontend.ICPath, preds *frontend.PredictorSet, sc *buildScratch, m *frontend.Metrics) int {
 	startIP := recs[i].IP
-	var ptrs []isa.Addr
+	ptrs := sc.ptrs[:0]
+	defer func() { sc.ptrs = ptrs }()
 	for len(ptrs) < f.cfg.PtrsPerTrace && i < len(recs) {
 		blockStart := recs[i].IP
-		var fill []blockInst
+		fill := sc.fill[:0]
 		uops := 0
 		endsTrace := false
 		for i < len(recs) {
@@ -340,6 +354,7 @@ func (f *Frontend) build(st *state, recs []trace.Rec, i int, path *frontend.ICPa
 				break
 			}
 		}
+		sc.fill = fill // keep any growth for the next episode
 		if len(fill) == 0 {
 			i++
 			break

@@ -118,14 +118,18 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 			}
 		}
 		tick++
-		stored := make([]lineInst, len(insts))
-		copy(stored, insts)
+		// Reuse the victim line's storage; inserts stop allocating once
+		// every line has been filled at least once.
+		stored := append(lines[victim].insts[:0], insts...)
 		lines[victim] = line{valid: true, startIP: startIP, uops: uops, insts: stored, stamp: tick}
 	}
 
 	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
 	preds := frontend.NewPredictorSet()
-	recs := s.Recs
+	recs := s.Records()
+	// Per-run build scratch, reused across episodes (insert copies into
+	// line storage, so the next episode may overwrite it).
+	scratch := make([]lineInst, 0, f.cfg.LineUops)
 	i := 0
 	inDelivery := false
 	for i < len(recs) {
@@ -164,7 +168,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
 		}
 		startIP := recs[i].IP
-		var fill []lineInst
+		fill := scratch[:0]
 		uops := 0
 		for i < len(recs) {
 			g := path.FetchGroup(recs, i)
@@ -198,6 +202,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 				break
 			}
 		}
+		scratch = fill // keep any growth for the next episode
 		if len(fill) > 0 {
 			insert(startIP, fill, uops)
 		} else {

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xbc/internal/program"
+	"xbc/internal/trace"
+)
+
+// The trace corpus cache: generating a 1M-uop stream costs far more than
+// replaying it through a frontend, and every figure of a run replays the
+// same 21 workloads at the same length. The corpus deduplicates that work
+// content-addressed: entries are keyed by (hash of the workload spec, uop
+// count), so two cells asking for the same dynamic stream share one
+// generation — even when they race from parallel runner goroutines
+// (singleflight via a per-entry sync.Once) — while any difference in the
+// spec or the length yields a distinct entry, never an aliased stream.
+//
+// Sharing is safe because callers receive private *trace.Stream views
+// over one shared, immutable record slice: frontends and segmentation
+// passes only read Recs, and the read cursor (Read/Reset/Seek) lives in
+// the per-caller view.
+
+// defaultCorpusStreams bounds the shared corpus. 64 entries hold the full
+// 21-workload suite at three different stream lengths; at the default 1M
+// uops each entry is roughly 17 MB, keeping the worst case near 1 GB.
+const defaultCorpusStreams = 64
+
+// sharedCorpus is the process-wide corpus used by stream(); tests build
+// private instances with newCorpus.
+var sharedCorpus = newCorpus(defaultCorpusStreams)
+
+// corpusKey content-addresses one generated stream.
+type corpusKey struct {
+	spec [sha256.Size]byte // hash of the canonical spec encoding
+	uops uint64            // requested minimum dynamic uop count
+}
+
+// corpusKeyFor derives the content key for (spec, uops). Specs are flat
+// value structs, so their deterministic JSON encoding is a sound canonical
+// form: equal specs hash equal, any differing field hashes different.
+func corpusKeyFor(spec program.Spec, uops uint64) (corpusKey, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return corpusKey{}, fmt.Errorf("experiments: canonicalizing workload spec %q: %w", spec.Name, err)
+	}
+	return corpusKey{spec: sha256.Sum256(b), uops: uops}, nil
+}
+
+// corpusEntry is one cached generation. The sync.Once is the singleflight
+// gate: every caller for the key calls once.Do, exactly one executes the
+// generation, and the Once's happens-before edge publishes name/recs/err
+// to the waiters.
+type corpusEntry struct {
+	once sync.Once
+	name string
+	recs []trace.Rec
+	err  error
+}
+
+// corpus is a bounded, content-addressed stream cache.
+type corpus struct {
+	mu      sync.Mutex
+	max     int
+	entries map[corpusKey]*corpusEntry
+	order   []corpusKey // LRU order, oldest first
+
+	generates atomic.Uint64 // trace.Generate invocations (test observability)
+}
+
+func newCorpus(max int) *corpus {
+	if max < 1 {
+		max = 1
+	}
+	return &corpus{max: max, entries: make(map[corpusKey]*corpusEntry)}
+}
+
+// stream returns a private Stream view for (spec, minUops), generating the
+// underlying records at most once per key no matter how many callers race.
+// The views share one record slice; each has its own read cursor.
+func (c *corpus) stream(spec program.Spec, minUops uint64) (*trace.Stream, error) {
+	key, err := corpusKeyFor(spec, minUops)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &corpusEntry{}
+		c.entries[key] = e
+	}
+	c.touch(key)
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		c.generates.Add(1)
+		s, err := trace.Generate(spec, minUops)
+		if err != nil {
+			e.err = err
+			c.drop(key, e)
+			return
+		}
+		e.name, e.recs = s.Name, s.Recs
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &trace.Stream{Name: e.name, Recs: e.recs}, nil
+}
+
+// touch moves key to the MRU end and evicts past the bound. Evicting an
+// in-flight entry is harmless: callers already holding its pointer finish
+// their generation; the key just stops being cached. Caller holds c.mu.
+func (c *corpus) touch(key corpusKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// drop removes a failed entry so a later request retries generation with
+// a fresh Once instead of replaying the cached error forever.
+func (c *corpus) drop(key corpusKey, e *corpusEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] != e {
+		return // already evicted or replaced
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"xbc/internal/trace"
+	"xbc/internal/workload"
+)
+
+// TestCorpusSingleflight races many goroutines — like parallel runner
+// cells — at the same (spec, uops) key and checks that exactly one
+// generation happens, every caller shares the same backing records, and
+// each caller still gets an independent read cursor. Run under -race this
+// is also the data-race proof for the sharing scheme.
+func TestCorpusSingleflight(t *testing.T) {
+	w, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc workload missing")
+	}
+	c := newCorpus(8)
+	const callers = 16
+	const uops = 30_000
+	var wg sync.WaitGroup
+	streams := make([]*streamView, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.stream(w.Spec, uops)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			// Advance this caller's cursor a caller-specific distance to
+			// prove cursors are private.
+			for k := 0; k <= i; k++ {
+				if _, err := s.Read(); err != nil {
+					t.Errorf("caller %d: read %d: %v", i, k, err)
+					return
+				}
+			}
+			streams[i] = &streamView{s: s, read: i + 1}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if n := c.generates.Load(); n != 1 {
+		t.Fatalf("generated %d times for one key, want 1", n)
+	}
+	base := &streams[0].s.Recs[0]
+	for i, v := range streams {
+		if &v.s.Recs[0] != base {
+			t.Fatalf("caller %d does not share the corpus backing array", i)
+		}
+		r, err := v.s.Read()
+		if err != nil {
+			t.Fatalf("caller %d: post-read: %v", i, err)
+		}
+		// The next record must be the one after this caller's private
+		// position, i.e. Recs[read].
+		if r != v.s.Recs[v.read] {
+			t.Fatalf("caller %d: cursor shared or corrupted (got %+v want %+v)", i, r, v.s.Recs[v.read])
+		}
+	}
+}
+
+type streamView struct {
+	s    *trace.Stream
+	read int
+}
+
+// TestCorpusDistinctKeysNeverAlias checks the content addressing: the
+// same spec at different lengths, and different specs at the same length,
+// must occupy distinct entries and never hand out each other's records.
+func TestCorpusDistinctKeysNeverAlias(t *testing.T) {
+	gcc, _ := workload.ByName("gcc")
+	doom, ok := workload.ByName("doom")
+	if !ok {
+		t.Fatal("doom workload missing")
+	}
+	c := newCorpus(8)
+	a, err := c.stream(gcc.Spec, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.stream(gcc.Spec, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.stream(doom.Spec, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.generates.Load(); n != 3 {
+		t.Fatalf("generated %d times for three distinct keys, want 3", n)
+	}
+	if &a.Recs[0] == &b.Recs[0] {
+		t.Fatal("same spec at different lengths aliased one stream")
+	}
+	if &a.Recs[0] == &d.Recs[0] {
+		t.Fatal("different specs aliased one stream")
+	}
+	if a.Uops() < 20_000 || b.Uops() < 40_000 {
+		t.Fatalf("stream lengths wrong: %d, %d", a.Uops(), b.Uops())
+	}
+	// A repeat request must hit, not regenerate.
+	if _, err := c.stream(gcc.Spec, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.generates.Load(); n != 3 {
+		t.Fatalf("repeat request regenerated (%d generations)", n)
+	}
+	// A differing spec field — even just the seed — must miss.
+	seeded := gcc.Spec
+	seeded.Seed++
+	if _, err := c.stream(seeded, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.generates.Load(); n != 4 {
+		t.Fatalf("seed change did not change the content key (%d generations)", n)
+	}
+}
+
+// TestCorpusEviction checks the LRU bound: pushing past max evicts the
+// coldest key, and re-requesting it regenerates.
+func TestCorpusEviction(t *testing.T) {
+	gcc, _ := workload.ByName("gcc")
+	c := newCorpus(2)
+	for _, uops := range []uint64{10_000, 11_000, 12_000} {
+		if _, err := c.stream(gcc.Spec, uops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(c.entries); n != 2 {
+		t.Fatalf("corpus holds %d entries, want max 2", n)
+	}
+	// 10k was the coldest; re-requesting it must regenerate.
+	if _, err := c.stream(gcc.Spec, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.generates.Load(); n != 4 {
+		t.Fatalf("evicted key did not regenerate (%d generations)", n)
+	}
+	// 12k is still resident (11k was evicted by the 10k re-insert).
+	if _, err := c.stream(gcc.Spec, 12_000); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.generates.Load(); n != 4 {
+		t.Fatalf("resident key regenerated (%d generations)", n)
+	}
+}

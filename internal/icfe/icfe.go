@@ -56,7 +56,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	var m frontend.Metrics
 	path := frontend.NewICPath(f.cfg, f.icCfg)
 	preds := frontend.NewPredictorSet()
-	recs := s.Recs
+	recs := s.Records()
 	for i := 0; i < len(recs); {
 		// One fetch cycle: up to ports consecutive runs, stopped early by
 		// a misprediction (the re-steer wastes the remaining ports).

@@ -1,0 +1,67 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags
+// into the CLIs so hot-path work (see docs/ARCHITECTURE.md, Performance)
+// can be measured with `go tool pprof` instead of guessed at.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.Mem, "memprofile", "", "write an allocation (heap) profile to `file` at exit")
+	return f
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that finalizes the CPU profile and writes the heap profile. The stop
+// function must run before the process exits — including the os.Exit
+// paths, where deferred calls do not run.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

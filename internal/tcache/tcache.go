@@ -114,6 +114,7 @@ type Cache struct {
 	storedUops  int              // total uops currently stored
 	copies      map[isa.Addr]int // per-instruction stored copy count
 	copiedInsts int              // distinct instructions currently stored
+	totalCopies int              // sum over copies, maintained incrementally
 
 	Lookups uint64
 	Hits    uint64
@@ -204,14 +205,16 @@ func (c *Cache) Insert(startIP isa.Addr, insts []traceInst) {
 	}
 	c.evict(victim)
 	uops := 0
-	stored := make([]traceInst, len(insts))
-	copy(stored, insts)
+	// The evicted line's instruction storage is reused (evict keeps the
+	// backing array), so steady-state inserts do not allocate.
+	stored := append(c.lines[victim].insts[:0], insts...)
 	for _, ti := range stored {
 		uops += int(ti.numUops)
 		if c.copies[ti.ip] == 0 {
 			c.copiedInsts++
 		}
 		c.copies[ti.ip]++
+		c.totalCopies++
 	}
 	c.tick++
 	c.lines[victim] = line{valid: true, startIP: startIP, path: newPath, nbr: newN, uops: uops, insts: stored, stamp: c.tick}
@@ -225,26 +228,24 @@ func (c *Cache) evict(i int) {
 	}
 	for _, ti := range ln.insts {
 		c.copies[ti.ip]--
+		c.totalCopies--
 		if c.copies[ti.ip] == 0 {
 			c.copiedInsts--
 			delete(c.copies, ti.ip)
 		}
 	}
 	c.storedUops -= ln.uops
-	*ln = line{}
+	*ln = line{insts: ln.insts[:0]}
 }
 
 // Redundancy returns the average number of stored copies per distinct
-// instruction currently resident (1.0 = redundancy-free).
+// instruction currently resident (1.0 = redundancy-free). The copy total
+// is maintained incrementally by Insert/evict, so this is O(1).
 func (c *Cache) Redundancy() float64 {
 	if c.copiedInsts == 0 {
 		return 0
 	}
-	total := 0
-	for _, n := range c.copies {
-		total += n
-	}
-	return float64(total) / float64(c.copiedInsts)
+	return float64(c.totalCopies) / float64(c.copiedInsts)
 }
 
 // Fragmentation returns the fraction of uop slots left empty by stored
@@ -324,17 +325,20 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	}
 	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
 	preds := frontend.NewPredictorSet()
-	recs := s.Recs
+	recs := s.Records()
 	var rf *retireFill
 	if f.cfg.PathAssoc {
 		rf = &retireFill{cfg: f.cfg}
 	}
 
-	var redundancySamples []float64
+	// Hoisted out of the loop so each lookup does not allocate a closure;
+	// fill is the build-mode trace-assembly scratch, reused per episode.
+	predDir := func(ip isa.Addr) bool { return preds.Dir.Predict(ip) }
+	fill := make([]traceInst, 0, f.cfg.MaxUops)
 	inDelivery := false
 	i := 0
 	for i < len(recs) {
-		ln, hit := cache.Lookup(recs[i].IP, func(ip isa.Addr) bool { return preds.Dir.Predict(ip) })
+		ln, hit := cache.Lookup(recs[i].IP, predDir)
 		if hit {
 			if !inDelivery {
 				inDelivery = true
@@ -357,15 +361,12 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 			// Falling out of delivery redirects fetch into the IC path.
 			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
 		}
-		j := f.build(recs, i, cache, path, preds, &m)
+		j := f.build(recs, i, cache, path, preds, &fill, &m)
 		if rf != nil {
 			// Keep the retirement fill aligned across build episodes.
 			rf.flush(cache)
 		}
 		i = j
-		if len(redundancySamples) < 64 {
-			redundancySamples = append(redundancySamples, cache.Redundancy())
-		}
 	}
 	m.AddExtra("redundancy", cache.Redundancy())
 	m.AddExtra("fragmentation", cache.Fragmentation())
@@ -412,10 +413,13 @@ func (f *Frontend) deliver(recs []trace.Rec, i int, ln *line, preds *frontend.Pr
 }
 
 // build assembles one trace starting at recs[i] while feeding execution
-// through the IC path, stores it, and returns the new stream index.
-func (f *Frontend) build(recs []trace.Rec, i int, cache *Cache, path *frontend.ICPath, preds *frontend.PredictorSet, m *frontend.Metrics) int {
+// through the IC path, stores it, and returns the new stream index. The
+// caller owns the fill scratch; its contents are dead once build returns
+// (Insert copies them into line storage).
+func (f *Frontend) build(recs []trace.Rec, i int, cache *Cache, path *frontend.ICPath, preds *frontend.PredictorSet, fillScratch *[]traceInst, m *frontend.Metrics) int {
 	startIP := recs[i].IP
-	var fill []traceInst
+	fill := (*fillScratch)[:0]
+	defer func() { *fillScratch = fill }()
 	uops, branches := 0, 0
 
 	// Decode groups supply the build-mode uops; the fill unit watches the

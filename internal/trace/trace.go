@@ -55,6 +55,25 @@ func (s *Stream) Read() (Rec, error) {
 // Reset rewinds the stream to the beginning.
 func (s *Stream) Reset() { s.pos = 0 }
 
+// Seek positions the read cursor at record index i, so the next Read
+// returns Recs[i]. Seek(Len()) is legal and leaves the stream at EOF;
+// anything outside [0, Len()] is a caller bug and reports an error
+// without moving the cursor.
+func (s *Stream) Seek(i int) error {
+	if i < 0 || i > len(s.Recs) {
+		return fmt.Errorf("trace %q: seek %d outside [0, %d]", s.Name, i, len(s.Recs))
+	}
+	s.pos = i
+	return nil
+}
+
+// Records returns the stream's backing record slice for allocation-free
+// replay: frontends range over it directly instead of paying a Read call
+// (and its Rec copy) per instruction. The slice is shared — corpus-cached
+// streams hand the same backing array to every caller — so it must be
+// treated as immutable.
+func (s *Stream) Records() []Rec { return s.Recs }
+
 // Len returns the number of records.
 func (s *Stream) Len() int { return len(s.Recs) }
 

@@ -100,6 +100,18 @@ type Cache struct {
 	entries map[isa.Addr]*entry
 	tick    uint64
 
+	// Incrementally maintained occupancy (kept current by ensureChunk,
+	// the only place line content changes) so Fragmentation and
+	// Utilization are O(1) instead of sweeping the data array.
+	validLines int
+	usedSlots  int
+
+	// Reusable scratch, sized once at construction, so the insert and
+	// metrics paths never allocate per call: materialize's per-order
+	// residency flags and Redundancy's copy-count map.
+	residentScratch []bool
+	copiesScratch   map[isa.UopID]int
+
 	// checkErr is the first violation recorded by the insert-time checks
 	// (Config.Check only); the run's invariant checker surfaces it.
 	checkErr error
@@ -120,11 +132,21 @@ func NewCache(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cache{
-		cfg:     cfg,
-		lines:   make([]line, cfg.Sets*cfg.Banks*cfg.Ways),
-		entries: make(map[isa.Addr]*entry),
-	}, nil
+	n := cfg.Sets * cfg.Banks * cfg.Ways
+	c := &Cache{
+		cfg:             cfg,
+		lines:           make([]line, n),
+		entries:         make(map[isa.Addr]*entry),
+		residentScratch: make([]bool, cfg.MaxOrders()),
+		copiesScratch:   make(map[isa.UopID]int),
+	}
+	// One flat backing array gives every line its full-capacity uop slice
+	// up front, so ensureChunk rewrites lines without ever allocating.
+	backing := make([]isa.UopID, n*cfg.BankUops)
+	for i := range c.lines {
+		c.lines[i].uops = backing[i*cfg.BankUops : i*cfg.BankUops : (i+1)*cfg.BankUops]
+	}
+	return c, nil
 }
 
 // setOf derives the set index from a XB ending address.
@@ -179,7 +201,11 @@ func (c *Cache) ensureChunk(set int, endIP isa.Addr, order int, chunk []isa.UopI
 	ln := c.lineAt(set, int(ref.bank), int(ref.way))
 	if ln.valid {
 		c.Evictions++
+		c.usedSlots -= int(ln.count)
+	} else {
+		c.validLines++
 	}
+	c.usedSlots += len(chunk)
 	c.Allocs++
 	c.tick++
 	buf := append(ln.uops[:0], chunk...)
@@ -360,7 +386,13 @@ func (c *Cache) Insert(endIP isa.Addr, rseq []isa.UopID, avoidBanks uint) (id ui
 func (c *Cache) CheckErr() error { return c.checkErr }
 
 func (c *Cache) newVariant(e *entry, rseq []isa.UopID) *variant {
-	v := &variant{id: e.nextID, rseq: append([]isa.UopID(nil), rseq...)}
+	// Full-quota capacity up front: head extensions (case 2) rewrite the
+	// sequence in place without ever growing the allocation.
+	v := &variant{
+		id:   e.nextID,
+		rseq: append(make([]isa.UopID, 0, c.cfg.Quota), rseq...),
+		refs: make([]lineRef, 0, c.cfg.MaxOrders()),
+	}
 	e.nextID++
 	e.variants = append(e.variants, v)
 	return v
@@ -378,7 +410,10 @@ func (c *Cache) materialize(set int, e *entry, v *variant, upTo int, avoidBanks 
 	// they pin. Resident chunks beyond the repaired range pin their banks
 	// too, so the variant never ends up with two chunks in one bank.
 	usedBanks := c.residentBanksFrom(set, e.endIP, v, orders)
-	resident := make([]bool, orders)
+	resident := c.residentScratch[:orders]
+	for o := range resident {
+		resident[o] = false
+	}
 	allResident := true
 	for o := 0; o < orders; o++ {
 		chunk := v.chunk(o, c.cfg.BankUops)

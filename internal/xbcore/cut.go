@@ -58,7 +58,17 @@ func clampUops(r trace.Rec, quota int) int {
 // cutXB cuts the next dynamic XB from recs starting at index i, honouring
 // the quota and the current promotion state.
 func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
-	xb := dynXB{start: i}
+	var xb dynXB
+	cutXBInto(&xb, recs, i, quota, promoted)
+	return xb
+}
+
+// cutXBInto is cutXB with caller-owned scratch storage: the rseq and inner
+// buffers of xb are truncated and reused, so a run loop that threads one
+// dynXB through every iteration cuts blocks without allocating once warm.
+// The filled xb must not be retained across the next cutXBInto call.
+func cutXBInto(xb *dynXB, recs []trace.Rec, i, quota int, promoted promQuery) {
+	*xb = dynXB{start: i, rseq: xb.rseq[:0], inner: xb.inner[:0]}
 	j := i
 	for j < len(recs) {
 		r := recs[j]
@@ -81,7 +91,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 				xb.class = isa.Seq
 			}
 			xb.buildRseq(recs, quota)
-			return xb
+			return
 		}
 		xb.uops += n
 		j++
@@ -104,7 +114,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 				xb.endPromoted = true
 				xb.violated = true
 				xb.buildRseq(recs, quota)
-				return xb
+				return
 			}
 		}
 		xb.end = j
@@ -112,7 +122,7 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 		xb.class = r.Class
 		xb.taken = r.Taken
 		xb.buildRseq(recs, quota)
-		return xb
+		return
 	}
 	// Stream exhausted mid-block.
 	xb.end = j
@@ -122,13 +132,17 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 		xb.class = isa.Seq
 	}
 	xb.buildRseq(recs, quota)
-	return xb
 }
 
 // buildRseq fills the reverse-order uop identity sequence, using the same
-// clamped per-record uop counts as the cut loop so len(rseq) == uops.
+// clamped per-record uop counts as the cut loop so len(rseq) == uops. The
+// caller's existing rseq buffer is reused when its capacity suffices.
 func (xb *dynXB) buildRseq(recs []trace.Rec, quota int) {
-	xb.rseq = make([]isa.UopID, 0, xb.uops)
+	if cap(xb.rseq) < xb.uops {
+		xb.rseq = make([]isa.UopID, 0, quota)
+	} else {
+		xb.rseq = xb.rseq[:0]
+	}
 	for k := xb.end - 1; k >= xb.start; k-- {
 		r := recs[k]
 		for u := clampUops(r, quota) - 1; u >= 0; u-- {

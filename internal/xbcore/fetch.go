@@ -147,9 +147,12 @@ func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, confl
 }
 
 // Redundancy returns the average number of resident copies per distinct
-// uop — the metric the XBC is designed to drive to 1.0.
+// uop — the metric the XBC is designed to drive to 1.0. The copy counts
+// accumulate into a scratch map owned by the cache (cleared, never
+// reallocated), so repeated calls do not allocate once the map is warm.
 func (c *Cache) Redundancy() float64 {
-	copies := make(map[isa.UopID]int)
+	copies := c.copiesScratch
+	clear(copies)
 	total := 0
 	for i := range c.lines {
 		ln := &c.lines[i]
@@ -168,33 +171,20 @@ func (c *Cache) Redundancy() float64 {
 }
 
 // Fragmentation returns the fraction of uop slots in valid lines left
-// empty.
+// empty. The occupancy counters are maintained incrementally by the
+// insert path, so this is O(1) — no data-array sweep, no allocation.
 func (c *Cache) Fragmentation() float64 {
-	slots, used := 0, 0
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
-			continue
-		}
-		slots += c.cfg.BankUops
-		used += int(ln.count)
-	}
+	slots := c.validLines * c.cfg.BankUops
 	if slots == 0 {
 		return 0
 	}
-	return 1 - float64(used)/float64(slots)
+	return 1 - float64(c.usedSlots)/float64(slots)
 }
 
 // Utilization returns the fraction of all uop slots (valid or not)
-// currently holding uops.
+// currently holding uops; O(1) like Fragmentation.
 func (c *Cache) Utilization() float64 {
-	used := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			used += int(c.lines[i].count)
-		}
-	}
-	return float64(used) / float64(len(c.lines)*c.cfg.BankUops)
+	return float64(c.usedSlots) / float64(len(c.lines)*c.cfg.BankUops)
 }
 
 // CheckInvariants validates internal consistency; tests call it after

@@ -76,9 +76,38 @@ type runState struct {
 	nxbHits        uint64
 	nxbMisses      uint64
 
-	// reasons counts why delivery was abandoned, for diagnostics.
-	reasons map[string]uint64
-	reason  string
+	// reasons counts why delivery was abandoned, for diagnostics. The
+	// hot path records an enum index; the string names the metrics report
+	// uses are materialized once, at the end of the run.
+	reasons [numAbandonReasons]uint64
+	reason  abandonReason
+}
+
+// abandonReason enumerates why deliverXB refused to supply a block, one
+// index per former "reasons" map key: an XBC data-array miss, an invalid
+// pointer after each previous-XB class, or a stale pointer after each
+// previous-XB class. Indexing by a small integer keeps the per-abandon
+// bookkeeping allocation-free; reasonKey reconstructs the report string.
+type abandonReason uint16
+
+const (
+	abandonXBCMiss    abandonReason = 0
+	abandonPtrInvalid abandonReason = 1                                                 // + previous XB's isa.Class
+	abandonPtrStale   abandonReason = abandonPtrInvalid + abandonReason(isa.NumClasses) // + class
+	numAbandonReasons               = 1 + 2*isa.NumClasses
+)
+
+// reasonKey renders the Metrics.Extra key for one reason index, matching
+// the keys the former string-keyed map produced.
+func reasonKey(r abandonReason) string {
+	switch {
+	case r == abandonXBCMiss:
+		return "reason_xbc_miss"
+	case r < abandonPtrStale:
+		return "reason_ptr_invalid_" + isa.Class(r-abandonPtrInvalid).String()
+	default:
+		return "reason_ptr_stale_" + isa.Class(r-abandonPtrStale).String()
+	}
 }
 
 // Run replays the stream through the XBC frontend. With Config.Check set
@@ -106,13 +135,12 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 		return m, err
 	}
 	st := &runState{
-		cache:   cache,
-		xbtb:    NewXBTB(f.cfg),
-		xibtb:   NewXiBTB(10, 8),
-		xrsb:    NewXRSB(f.cfg.XRSBDepth),
-		xbp:     f.cfg.newXBP(),
-		path:    frontend.NewICPath(f.fecfg, frontend.DefaultICConfig()),
-		reasons: make(map[string]uint64),
+		cache: cache,
+		xbtb:  NewXBTB(f.cfg),
+		xibtb: NewXiBTB(10, 8),
+		xrsb:  NewXRSB(f.cfg.XRSBDepth),
+		xbp:   f.cfg.newXBP(),
+		path:  frontend.NewICPath(f.fecfg, frontend.DefaultICConfig()),
 	}
 	if f.cfg.NextXB {
 		st.nxb = NewXiBTB(12, 10)
@@ -121,7 +149,7 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 	if f.cfg.Check {
 		chk = newChecker(f.cfg, cache, st.xbtb)
 	}
-	recs := s.Recs
+	recs := s.Records()
 	promoted := func(ip isa.Addr) (bool, bool) {
 		if !f.cfg.Promotion {
 			return false, false
@@ -129,9 +157,12 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 		return st.xbtb.PromotedDir(ip)
 	}
 
+	// cur is the per-run cut scratch: its rseq/inner buffers are reused
+	// across iterations, so the committed-block loop does not allocate.
+	var cur dynXB
 	i := 0
 	for i < len(recs) {
-		cur := cutXB(recs, i, f.cfg.Quota, promoted)
+		cutXBInto(&cur, recs, i, f.cfg.Quota, promoted)
 		if cur.end == cur.start {
 			break // defensive: no progress possible
 		}
@@ -188,8 +219,10 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 	m.AddExtra("complex_xbs", float64(st.cache.ComplexXBs))
 	m.AddExtra("extensions", float64(st.cache.Extensions))
 	m.AddExtra("replacements", float64(st.cache.Replacements))
-	for k, v := range st.reasons {
-		m.AddExtra("reason_"+k, float64(v))
+	for r, v := range st.reasons {
+		if v > 0 {
+			m.AddExtra(reasonKey(abandonReason(r)), float64(v))
+		}
 	}
 	m.Finalize(f.fecfg)
 	return m, nil
@@ -310,7 +343,7 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 // (caller switches to build mode).
 func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Metrics) bool {
 	if !follow.Valid {
-		st.reason = "ptr_invalid_" + st.prevClass.String()
+		st.reason = abandonPtrInvalid + abandonReason(st.prevClass)
 		return false
 	}
 	if !follow.Matches(cur.endIP, cur.uops) {
@@ -331,12 +364,12 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 				return true
 			}
 		}
-		st.reason = "ptr_stale_" + st.prevClass.String()
+		st.reason = abandonPtrStale + abandonReason(st.prevClass)
 		return false
 	}
 	res := st.cache.Fetch(cur.endIP, follow.Variant, cur.uops, cur.rseq)
 	if !res.OK {
-		st.reason = "xbc_miss"
+		st.reason = abandonXBCMiss
 		return false
 	}
 	if res.Searched {
