@@ -2,18 +2,25 @@
 
 GO ?= go
 
-# Where `make bench` records the frontend benchmark numbers; diff two
-# recordings with `make bench-compare OLD=... NEW=...`.
-BENCH_OUT ?= BENCH_PR2.json
+# Where `make bench` records the frontend benchmark numbers. The checked-in
+# baselines are BENCH_SEED.json (the original tree) and BENCH_PR2.json (the
+# allocation-free frontends); record the working tree into BENCH_CURRENT.json
+# and diff against a baseline:
+#
+#	make bench                                        # writes BENCH_CURRENT.json
+#	make bench-compare OLD=BENCH_PR2.json NEW=BENCH_CURRENT.json
+#
+BENCH_OUT ?= BENCH_CURRENT.json
 
-.PHONY: all check build test vet race bench bench-smoke bench-compare experiments calibrate fuzz clean
+.PHONY: all check build test vet lint race bench bench-smoke bench-compare experiments calibrate fuzz clean
 
 all: check
 
-# The verification gate: build, vet, the full suite under the race
-# detector, a one-iteration pass over every benchmark (so a broken bench
-# cannot rot unnoticed), and a short fuzz pass over the .xtr parser.
-check: build vet race bench-smoke
+# The verification gate: build, vet, the project linters, the full suite
+# under the race detector, a one-iteration pass over every benchmark (so a
+# broken bench cannot rot unnoticed), and a short fuzz pass over the .xtr
+# parser.
+check: build vet lint race bench-smoke
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 10s
 
 build:
@@ -21,6 +28,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/xbclint): determinism, hot-loop
+# allocation discipline, enum exhaustiveness, dropped errors, float
+# comparisons. `go run ./cmd/xbclint -list` describes the analyzers;
+# suppress a finding with `//xbc:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/xbclint ./...
 
 test:
 	$(GO) test ./...

@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,7 +46,10 @@ type File struct {
 	Benchmarks map[string]Result `json:"benchmarks"` // name (sans Benchmark prefix) -> numbers
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+// The lazy name match lets the optional -N GOMAXPROCS suffix actually
+// strip: a greedy \S+ would swallow it into the name, so recordings made
+// on machines with different core counts would share no benchmarks.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func parse(r io.Reader) (map[string]Result, error) {
 	out := map[string]Result{}
@@ -88,7 +92,9 @@ func run(bench, benchtime string) (map[string]Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
-	os.Stdout.Write(out) // keep the raw log visible
+	if _, err := os.Stdout.Write(out); err != nil { // keep the raw log visible
+		return nil, err
+	}
 	return parse(strings.NewReader(string(out)))
 }
 
@@ -104,6 +110,63 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
+// compareFiles diffs two recordings, writing the delta table to w. It
+// returns the number of allocs/op regressions past the gate and the
+// benchmarks recorded in old but absent from new: a benchmark that
+// disappeared between runs must not silently read as a pass.
+func compareFiles(oldF, newF *File, maxAllocRegressPct float64, w io.Writer) (regressions int, missing []string, err error) {
+	names := make([]string, 0, len(newF.Benchmarks))
+	//xbc:ignore nondeterm key collection; sorted before use
+	for n := range newF.Benchmarks {
+		if _, ok := oldF.Benchmarks[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	//xbc:ignore nondeterm key collection; sorted before use
+	for n := range oldF.Benchmarks {
+		if _, ok := newF.Benchmarks[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	if len(names) == 0 {
+		return 0, missing, errors.New("no common benchmarks")
+	}
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	// pct guards the zero baseline: the ratio is undefined, and the gate
+	// below decides zero-to-nonzero growth on its own.
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", 100*(newV-oldV)/oldV)
+	}
+	pr("%-22s %14s %14s %8s   %14s %14s %8s\n",
+		"benchmark", "allocs(old)", "allocs(new)", "delta", "uops/s(old)", "uops/s(new)", "delta")
+	for _, n := range names {
+		o, nw := oldF.Benchmarks[n], newF.Benchmarks[n]
+		pr("%-22s %14.0f %14.0f %8s   %14.0f %14.0f %8s\n",
+			n, o.AllocsPerOp, nw.AllocsPerOp, pct(o.AllocsPerOp, nw.AllocsPerOp),
+			o.UopsPerS, nw.UopsPerS, pct(o.UopsPerS, nw.UopsPerS))
+		switch {
+		case o.AllocsPerOp == 0 && nw.AllocsPerOp > 0:
+			// Any growth from a zero-alloc baseline breaches every
+			// percentage gate.
+			pr("  ^ REGRESSION: allocs/op grew from a zero-alloc baseline\n")
+			regressions++
+		case o.AllocsPerOp > 0 && nw.AllocsPerOp > o.AllocsPerOp*(1+maxAllocRegressPct/100):
+			pr("  ^ REGRESSION: allocs/op grew past the %.0f%% gate\n", maxAllocRegressPct)
+			regressions++
+		}
+	}
+	return regressions, missing, err
+}
+
 func compare(oldPath, newPath string, maxAllocRegressPct float64) int {
 	oldF, err := load(oldPath)
 	if err != nil {
@@ -113,34 +176,12 @@ func compare(oldPath, newPath string, maxAllocRegressPct float64) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	names := make([]string, 0, len(newF.Benchmarks))
-	for n := range newF.Benchmarks {
-		if _, ok := oldF.Benchmarks[n]; ok {
-			names = append(names, n)
-		}
+	regressions, missing, err := compareFiles(oldF, newF, maxAllocRegressPct, os.Stdout)
+	for _, n := range missing {
+		log.Printf("warning: benchmark %s in %s is missing from %s", n, oldPath, newPath)
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		log.Fatalf("no common benchmarks between %s and %s", oldPath, newPath)
-	}
-	pct := func(oldV, newV float64) string {
-		if oldV == 0 {
-			return "   n/a"
-		}
-		return fmt.Sprintf("%+6.1f%%", 100*(newV-oldV)/oldV)
-	}
-	fmt.Printf("%-22s %14s %14s %8s   %14s %14s %8s\n",
-		"benchmark", "allocs(old)", "allocs(new)", "delta", "uops/s(old)", "uops/s(new)", "delta")
-	regressions := 0
-	for _, n := range names {
-		o, nw := oldF.Benchmarks[n], newF.Benchmarks[n]
-		fmt.Printf("%-22s %14.0f %14.0f %8s   %14.0f %14.0f %8s\n",
-			n, o.AllocsPerOp, nw.AllocsPerOp, pct(o.AllocsPerOp, nw.AllocsPerOp),
-			o.UopsPerS, nw.UopsPerS, pct(o.UopsPerS, nw.UopsPerS))
-		if o.AllocsPerOp > 0 && nw.AllocsPerOp > o.AllocsPerOp*(1+maxAllocRegressPct/100) {
-			fmt.Printf("  ^ REGRESSION: allocs/op grew past the %.0f%% gate\n", maxAllocRegressPct)
-			regressions++
-		}
+	if err != nil {
+		log.Fatalf("%v (comparing %s and %s)", err, oldPath, newPath)
 	}
 	if regressions > 0 {
 		return 1
@@ -178,7 +219,9 @@ func main() {
 			log.Fatal(err2)
 		}
 		results, err = parse(f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	} else {
 		results, err = run(*bench, *benchtime)
 	}
@@ -195,7 +238,9 @@ func main() {
 	}
 	b = append(b, '\n')
 	if *out == "" {
-		os.Stdout.Write(b)
+		if _, err := os.Stdout.Write(b); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, b, 0o644); err != nil {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func file(benchmarks map[string]Result) *File {
+	return &File{Bench: "BenchmarkFrontend", BenchTime: "5x", Benchmarks: benchmarks}
+}
+
+func TestCompareFilesMissingInNew(t *testing.T) {
+	oldF := file(map[string]Result{
+		"Frontend/xbc":  {AllocsPerOp: 10, UopsPerS: 1e6},
+		"Frontend/bbtc": {AllocsPerOp: 12, UopsPerS: 9e5},
+	})
+	newF := file(map[string]Result{
+		"Frontend/xbc": {AllocsPerOp: 10, UopsPerS: 1e6},
+	})
+	var sb strings.Builder
+	reg, missing, err := compareFiles(oldF, newF, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 0 {
+		t.Errorf("regressions = %d, want 0", reg)
+	}
+	if len(missing) != 1 || missing[0] != "Frontend/bbtc" {
+		t.Errorf("missing = %v, want [Frontend/bbtc]", missing)
+	}
+	if !strings.Contains(sb.String(), "Frontend/xbc") {
+		t.Errorf("table does not list the common benchmark:\n%s", sb.String())
+	}
+}
+
+func TestCompareFilesZeroAllocBaseline(t *testing.T) {
+	oldF := file(map[string]Result{
+		"Frontend/xbc": {AllocsPerOp: 0, UopsPerS: 1e6},
+	})
+	newF := file(map[string]Result{
+		"Frontend/xbc": {AllocsPerOp: 3, UopsPerS: 1e6},
+	})
+	var sb strings.Builder
+	reg, missing, err := compareFiles(oldF, newF, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing = %v, want none", missing)
+	}
+	// Growth from a zero-alloc baseline must trip the gate even though a
+	// percentage is undefined, and the undefined ratio must render as n/a
+	// rather than dividing by zero.
+	if reg != 1 {
+		t.Errorf("regressions = %d, want 1", reg)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "zero-alloc baseline") {
+		t.Errorf("regression line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("zero baseline should render as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("divide-by-zero leaked into the table:\n%s", out)
+	}
+}
+
+func TestCompareFilesZeroBaselineStaysZero(t *testing.T) {
+	oldF := file(map[string]Result{"Frontend/xbc": {AllocsPerOp: 0}})
+	newF := file(map[string]Result{"Frontend/xbc": {AllocsPerOp: 0}})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 0 {
+		t.Errorf("regressions = %d, want 0 for an unchanged zero-alloc benchmark", reg)
+	}
+}
+
+func TestCompareFilesGateBoundary(t *testing.T) {
+	oldF := file(map[string]Result{
+		"InGate":  {AllocsPerOp: 100},
+		"Regress": {AllocsPerOp: 100},
+	})
+	newF := file(map[string]Result{
+		"InGate":  {AllocsPerOp: 110}, // exactly the 10% gate: allowed
+		"Regress": {AllocsPerOp: 112}, // past it
+	})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 1 {
+		t.Errorf("regressions = %d, want 1:\n%s", reg, sb.String())
+	}
+}
+
+func TestCompareFilesNoCommon(t *testing.T) {
+	oldF := file(map[string]Result{"A": {AllocsPerOp: 1}})
+	newF := file(map[string]Result{"B": {AllocsPerOp: 1}})
+	var sb strings.Builder
+	_, missing, err := compareFiles(oldF, newF, 10, &sb)
+	if err == nil {
+		t.Fatal("want error when the recordings share no benchmarks")
+	}
+	if len(missing) != 1 || missing[0] != "A" {
+		t.Errorf("missing = %v, want [A]", missing)
+	}
+}
+
+func TestLoadMalformedJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("want error for malformed JSON")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the offending file", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+}
+
+func TestParsePairsFields(t *testing.T) {
+	log := `goos: linux
+BenchmarkFrontend/xbc-8   	       5	 123456 ns/op	  42.5 uops/s	    1024 B/op	       7 allocs/op
+PASS
+`
+	got, err := parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["Frontend/xbc"]
+	if !ok {
+		t.Fatalf("parse = %v, want Frontend/xbc entry", got)
+	}
+	if r.NsPerOp != 123456 || r.UopsPerS != 42.5 || r.BytesPerOp != 1024 || r.AllocsPerOp != 7 {
+		t.Errorf("parsed %+v", r)
+	}
+}

@@ -77,7 +77,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer j.Close()
+		// A journal that cannot be flushed will not resume the cells it
+		// claims to hold; surface that instead of dropping it.
+		defer func() {
+			if err := j.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			}
+		}()
 		opts.Journal = j
 	}
 	if *traces != "" {

@@ -57,6 +57,7 @@ func main() {
 				return err
 			}
 			if err := xbc.WriteTrace(f, s); err != nil {
+				//xbc:ignore errdrop best-effort cleanup; the write error is already being returned
 				f.Close()
 				return err
 			}

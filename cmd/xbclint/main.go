@@ -1,0 +1,165 @@
+// Command xbclint runs the repository's custom static-analysis suite: the
+// build-time enforcement of the properties golden_test.go and the
+// BENCH_*.json allocation gates check dynamically.
+//
+// Usage:
+//
+//	xbclint ./...                 # lint the whole module (what make lint runs)
+//	xbclint ./internal/xbcore     # one package
+//	xbclint -run nondeterm ./...  # a subset of analyzers
+//	xbclint -list                 # describe the analyzers
+//
+// Analyzers:
+//
+//	nondeterm   — no time.Now, unseeded math/rand, or map iteration in
+//	              packages feeding Metrics/JSON/report output
+//	hotalloc    — no per-iteration allocation constructs inside //xbc:hot
+//	              loops and functions
+//	enumexhaust — switches over enums exhaustive (or explicitly
+//	              defaulted); enum-indexed counter arrays have name
+//	              mappings
+//	errdrop     — no silently discarded errors in cmd/ and internal/runner
+//	floatcmp    — no exact ==/!= on floats in stats and metric comparison
+//
+// Findings are suppressed line by line with a justified directive:
+//
+//	//xbc:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/enumexhaust"
+	"xbc/internal/lint/errdrop"
+	"xbc/internal/lint/floatcmp"
+	"xbc/internal/lint/hotalloc"
+	"xbc/internal/lint/nondeterm"
+)
+
+// analyzers is the full suite, in report order.
+var analyzers = []*lint.Analyzer{
+	nondeterm.Analyzer,
+	hotalloc.Analyzer,
+	enumexhaust.Analyzer,
+	errdrop.Analyzer,
+	floatcmp.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbclint: ")
+	var (
+		list = flag.Bool("list", false, "describe the analyzers and exit")
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*run)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	for _, pattern := range patterns {
+		got, err := loader.LoadPattern(pattern)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		for _, p := range got {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	var diags []lint.Diagnostic
+	reported := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			for _, d := range a.Analyze(pkg) {
+				// Malformed-directive findings can surface once per
+				// analyzer; keep each unique finding once.
+				key := d.String()
+				if !reported[key] {
+					reported[key] = true
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Println(relativize(cwd, d))
+	}
+	if len(diags) > 0 {
+		log.Printf("%d finding(s)", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -run flag.
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	if names == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relativize shortens finding paths relative to the working directory.
+func relativize(cwd string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

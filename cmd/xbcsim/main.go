@@ -54,6 +54,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			//xbc:ignore errdrop read-only trace input; decode errors surface from ReadTrace
 			defer f.Close()
 			s, err = xbc.ReadTrace(f)
 			return err
@@ -115,6 +116,7 @@ func main() {
 			ph.SteadyPct, ph.TransitionPct, ph.StallPct)
 		if *verbose && len(m.Extra) > 0 {
 			keys := make([]string, 0, len(m.Extra))
+			//xbc:ignore nondeterm key collection; sorted before use
 			for k := range m.Extra {
 				keys = append(keys, k)
 			}

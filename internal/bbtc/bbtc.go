@@ -216,6 +216,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	}
 	i := 0
 	inDelivery := false
+	//xbc:hot
 	for i < len(recs) {
 		if t := st.lookupTrace(recs[i].IP); t != nil {
 			next := f.deliver(st, recs, i, t, preds, &m)
@@ -246,6 +247,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	}
 	if len(refs) > 0 {
 		total := 0
+		//xbc:ignore nondeterm commutative integer sum; order-insensitive
 		for _, n := range refs {
 			total += n
 		}
@@ -268,6 +270,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 
 // deliver supplies uops for the pointer trace t, reading member blocks
 // from the block cache.
+//xbc:hot
 func (f *Frontend) deliver(st *state, recs []trace.Rec, i int, t *ptrTrace, preds *frontend.PredictorSet, m *frontend.Metrics) int {
 	m.DeliveryFetches++
 	for _, bip := range t.blocks {
@@ -310,10 +313,10 @@ type buildScratch struct {
 
 // build decodes blocks through the IC path, filling the block cache and
 // recording one pointer trace.
+//xbc:hot
 func (f *Frontend) build(st *state, recs []trace.Rec, i int, path *frontend.ICPath, preds *frontend.PredictorSet, sc *buildScratch, m *frontend.Metrics) int {
 	startIP := recs[i].IP
 	ptrs := sc.ptrs[:0]
-	defer func() { sc.ptrs = ptrs }()
 	for len(ptrs) < f.cfg.PtrsPerTrace && i < len(recs) {
 		blockStart := recs[i].IP
 		fill := sc.fill[:0]
@@ -368,6 +371,7 @@ func (f *Frontend) build(st *state, recs []trace.Rec, i int, path *frontend.ICPa
 	if len(ptrs) > 0 {
 		st.insertTrace(startIP, ptrs)
 	}
+	sc.ptrs = ptrs // keep any growth for the next episode
 	return i
 }
 

@@ -132,6 +132,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	scratch := make([]lineInst, 0, f.cfg.LineUops)
 	i := 0
 	inDelivery := false
+	//xbc:hot
 	for i < len(recs) {
 		if ln := lookup(recs[i].IP); ln != nil {
 			inDelivery = true

@@ -94,6 +94,10 @@ func (c Class) EndsXB() bool {
 	switch c {
 	case CondBranch, Call, IndirectJump, IndirectCall, Return:
 		return true
+	case Seq, Jump:
+		// Unconditional direct jumps are embedded inside XBs (their
+		// successor is static); sequential instructions never cut.
+		return false
 	}
 	return false
 }
@@ -135,6 +139,8 @@ func (in Inst) Validate() error {
 		if in.Target == 0 {
 			return fmt.Errorf("isa: direct %s at %#x has no target", in.Class, in.IP)
 		}
+	default:
+		// Seq has no target; indirect classes resolve theirs at run time.
 	}
 	return nil
 }

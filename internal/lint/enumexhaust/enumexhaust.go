@@ -1,0 +1,221 @@
+// Package enumexhaust keeps the simulator's enums honest: a switch over
+// an enum type must either carry an explicit default clause or mention
+// every constant of the enum, and every counter array indexed by an enum
+// (like xbcore's abandon-reason counters) must come with a name mapping —
+// a String method on the enum or a func(T) string in the indexing
+// package — so the metrics report can render each slot.
+//
+// An "enum" is a package-level named integer type with at least two
+// package-level constants of that exact type. Constants whose name marks
+// them as a sentinel (num*/max* prefix or *Count suffix, any case) are
+// not required in switches.
+package enumexhaust
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"xbc/internal/lint"
+)
+
+var scope = map[string]bool{
+	"xbc/internal/isa":      true,
+	"xbc/internal/xbcore":   true,
+	"xbc/internal/tcache":   true,
+	"xbc/internal/bbtc":     true,
+	"xbc/internal/decoded":  true,
+	"xbc/internal/icfe":     true,
+	"xbc/internal/trace":    true,
+	"xbc/internal/frontend": true,
+	"xbc/internal/stats":    true,
+}
+
+// Analyzer is the enumexhaust check.
+var Analyzer = &lint.Analyzer{
+	Name:  "enumexhaust",
+	Doc:   "requires exhaustive (or explicitly defaulted) switches over enum types and a name mapping for every enum-indexed counter array",
+	Match: func(path string) bool { return scope[path] },
+	Run:   run,
+}
+
+// enumInfo describes one detected enum type.
+type enumInfo struct {
+	typ      *types.Named
+	consts   []*types.Const // non-sentinel constants
+	sentinel []*types.Const
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	enums := make(map[*types.Named]*enumInfo)
+	namedArrays := make(map[*types.Named]bool) // enum types already reported for rule B
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			e := enumOf(enums, info.TypeOf(n.Tag))
+			if e == nil {
+				return true
+			}
+			checkSwitch(pass, n, e)
+		case *ast.IndexExpr:
+			xt := info.TypeOf(n.X)
+			if xt == nil {
+				return true
+			}
+			if _, isArray := xt.Underlying().(*types.Array); !isArray {
+				return true
+			}
+			e := enumOf(enums, info.TypeOf(n.Index))
+			if e == nil || namedArrays[e.typ] {
+				return true
+			}
+			namedArrays[e.typ] = true
+			if !hasNameMapping(pass.Pkg, e.typ) {
+				pass.Reportf(n.Pos(), "array indexed by enum %s has no name mapping; add a String method or a func(%s) string so reports can render each slot",
+					e.typ.Obj().Name(), e.typ.Obj().Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkSwitch verifies one switch statement over the enum e.
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt, e *enumInfo) {
+	covered := make(map[types.Object]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author decided the fallback
+		}
+		for _, expr := range cc.List {
+			if obj := constObj(pass.Pkg.Info, expr); obj != nil {
+				covered[obj] = true
+			}
+		}
+	}
+	// A value counts as covered when any constant sharing it is cased
+	// (aliased constants name the same slot).
+	var missing []string
+	for _, c := range e.consts {
+		if covered[c] {
+			continue
+		}
+		aliased := false
+		for obj := range covered {
+			if co, ok := obj.(*types.Const); ok && co.Val().String() == c.Val().String() {
+				aliased = true
+				break
+			}
+		}
+		if !aliased {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s; add the cases or an explicit default clause",
+			e.typ.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumOf classifies t, caching the answer. Nil means "not an enum".
+func enumOf(cache map[*types.Named]*enumInfo, t types.Type) *enumInfo {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if e, ok := cache[named]; ok {
+		return e
+	}
+	cache[named] = nil // default; overwritten below when it qualifies
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	e := &enumInfo{typ: named}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if isSentinelName(c.Name()) {
+			e.sentinel = append(e.sentinel, c)
+		} else {
+			e.consts = append(e.consts, c)
+		}
+	}
+	if len(e.consts) < 2 {
+		return nil
+	}
+	cache[named] = e
+	return e
+}
+
+// isSentinelName reports whether a constant name marks a count sentinel
+// rather than a real enum value.
+func isSentinelName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "num") || strings.HasPrefix(l, "max") || strings.HasSuffix(l, "count")
+}
+
+// constObj resolves a case expression to the constant it names, through
+// either a bare identifier or a pkg.Name selector.
+func constObj(info *types.Info, expr ast.Expr) types.Object {
+	switch expr := expr.(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[expr].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[expr.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// hasNameMapping reports whether enum values of named can be rendered:
+// a String() string method on the type, or a func(T) string declared in
+// the current package or the enum's package.
+func hasNameMapping(pkg *lint.Package, named *types.Named) bool {
+	if m, _, _ := types.LookupFieldOrMethod(named, false, named.Obj().Pkg(), "String"); m != nil {
+		if sig, ok := m.Type().(*types.Signature); ok && isStringResult(sig) && sig.Params().Len() == 0 {
+			return true
+		}
+	}
+	for _, s := range []*types.Scope{pkg.Types.Scope(), named.Obj().Pkg().Scope()} {
+		for _, name := range s.Names() {
+			fn, ok := s.Lookup(name).(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 1 && types.Identical(sig.Params().At(0).Type(), named) && isStringResult(sig) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isStringResult(sig *types.Signature) bool {
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

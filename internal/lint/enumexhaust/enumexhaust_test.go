@@ -1,0 +1,12 @@
+package enumexhaust_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/enumexhaust"
+	"xbc/internal/lint/linttest"
+)
+
+func TestEnumExhaust(t *testing.T) {
+	linttest.Run(t, enumexhaust.Analyzer, "testdata/src/a")
+}

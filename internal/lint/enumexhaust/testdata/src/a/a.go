@@ -1,0 +1,95 @@
+// Package a is the enumexhaust fixture: color is an enum with a String
+// mapping, reason is an enum-indexed counter without one.
+package a
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+	numColors
+)
+
+// String names each color; with it, color-indexed arrays are renderable.
+func (c color) String() string {
+	switch c {
+	case red:
+		return "red"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	default:
+		return "unknown"
+	}
+}
+
+// Triggering: no default clause and blue is missing. The numColors
+// sentinel is not required.
+func describe(c color) int {
+	switch c { // want "switch over color is not exhaustive: missing blue"
+	case red:
+		return 0
+	case green:
+		return 1
+	}
+	return -1
+}
+
+// Non-triggering: an explicit default documents the fallback.
+func short(c color) bool {
+	switch c {
+	case red:
+		return true
+	default:
+		return false
+	}
+}
+
+// Non-triggering: every value is cased.
+func full(c color) int {
+	switch c {
+	case red, green:
+		return 0
+	case blue:
+		return 1
+	}
+	return -1
+}
+
+// Non-triggering: color-indexed counters have the String mapping above.
+var colorHits [numColors]uint64
+
+func countColor(c color) {
+	colorHits[c]++
+}
+
+// reason is an enum used to index counters but with no name mapping.
+type reason int
+
+const (
+	reasonMiss reason = iota
+	reasonStale
+	reasonConflict
+	numReasons
+)
+
+var reasonHits [numReasons]uint64
+
+func countReason(r reason) {
+	reasonHits[r]++ // want "array indexed by enum reason has no name mapping"
+}
+
+// notEnum has a single constant: not an enum, switches over it are free.
+type notEnum int
+
+const onlyValue notEnum = 0
+
+func freeSwitch(n notEnum) bool {
+	switch n {
+	case onlyValue:
+		return true
+	}
+	return false
+}

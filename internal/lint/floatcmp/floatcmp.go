@@ -1,0 +1,74 @@
+// Package floatcmp forbids exact equality on floating-point values in the
+// statistics toolkit and the metric-comparison paths: two metric pipelines
+// that differ only in summation order can produce values that are equal
+// for every practical purpose yet fail ==, and values that happen to
+// compare equal today silently stop doing so after a reordering — the
+// golden test compares bit patterns deliberately, everything else should
+// compare with a tolerance.
+//
+// Comparison against an exact constant zero is allowed: it is the
+// standard (and IEEE-754-exact) divide-by-zero guard used throughout
+// stats.Ratio and the bandwidth metrics. Any other exact comparison needs
+// an epsilon, a bit-pattern comparison (math.Float64bits), or a justified
+// //xbc:ignore floatcmp directive.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"xbc/internal/lint"
+)
+
+var scope = map[string]bool{
+	"xbc/internal/stats":       true,
+	"xbc/internal/interval":    true,
+	"xbc/internal/experiments": true,
+	"xbc/cmd/benchjson":        true,
+}
+
+// Analyzer is the floatcmp check.
+var Analyzer = &lint.Analyzer{
+	Name:  "floatcmp",
+	Doc:   "forbids ==/!= on floating-point operands in stats and metric-comparison code (exact zero guards excepted)",
+	Match: func(path string) bool { return scope[path] },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(info.TypeOf(be.X)) && !isFloat(info.TypeOf(be.Y)) {
+			return true
+		}
+		if isExactZero(info, be.X) || isExactZero(info, be.Y) {
+			return true
+		}
+		pass.Reportf(be.Pos(), "exact %s on float operands; compare with a tolerance, math.Float64bits, or justify with //xbc:ignore floatcmp <reason>", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether expr is a compile-time constant equal to
+// zero — the IEEE-754-exact guard value.
+func isExactZero(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

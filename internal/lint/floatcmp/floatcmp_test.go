@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/floatcmp"
+	"xbc/internal/lint/linttest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	linttest.Run(t, floatcmp.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,42 @@
+// Package a is the floatcmp fixture.
+package a
+
+import "math"
+
+type rate float64
+
+// Triggering: exact equality between computed floats.
+func compare(a, b float64, r rate) bool {
+	if a == b { // want "exact == on float operands"
+		return true
+	}
+	if a != b+1 { // want "exact != on float operands"
+		return false
+	}
+	if r == 0.5 { // want "exact == on float operands"
+		return true
+	}
+	return false
+}
+
+// Non-triggering: the exact zero guard, integer comparisons, ordering
+// comparisons, bit-pattern equality, and a justified suppression.
+func allowed(a, b float64, n int) bool {
+	if a == 0 || 0 != b {
+		return false
+	}
+	if n == 3 {
+		return true
+	}
+	if a < b || a >= b {
+		return false
+	}
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return true
+	}
+	//xbc:ignore floatcmp sentinel propagated verbatim, equality is intended
+	if a == math.Inf(1) {
+		return true
+	}
+	return false
+}

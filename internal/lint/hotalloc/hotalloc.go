@@ -1,0 +1,218 @@
+// Package hotalloc structurally guards the allocation-free hot loops the
+// benchmark gates (BENCH_*.json allocs/op) protect dynamically: inside a
+// region annotated //xbc:hot — a loop statement with the directive on the
+// line above it, or a whole function with the directive in its doc
+// comment — it flags every construct that allocates per iteration.
+//
+// Flagged: make, closures (func literals), slice/map composite literals,
+// &T{...} (escaping composite literals), non-constant string
+// concatenation, fmt.Sprint*/Errorf, and append to a destination that is
+// neither reused in place (append(buf[:0], ...)) nor grown amortized
+// (buf = append(buf, ...)).
+//
+// Amortized or cold-start allocations inside a hot region (for example a
+// capacity-guarded make that only runs before the scratch buffer is warm)
+// are suppressed with a justified //xbc:ignore hotalloc directive.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xbc/internal/lint"
+)
+
+// Analyzer is the hotalloc check. It runs everywhere: it only fires
+// inside //xbc:hot regions, so unannotated packages are free.
+var Analyzer = &lint.Analyzer{
+	Name:  "hotalloc",
+	Doc:   "flags per-iteration allocation constructs inside //xbc:hot loops and functions",
+	Match: func(string) bool { return true },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) {
+	hotLines := lint.DirectiveLines(pass.Pkg, "hot")
+	if len(hotLines) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		file := pass.Fset().Position(f.Pos()).Filename
+		lines := hotLines[file]
+		if len(lines) == 0 {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && docHasHot(fd.Doc) {
+				checkRegion(pass, fd.Body)
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					body = n.Body
+				case *ast.RangeStmt:
+					body = n.Body
+				default:
+					return true
+				}
+				line := pass.Fset().Position(n.Pos()).Line
+				if lines[line-1] || lines[line] {
+					checkRegion(pass, body)
+					return false // region covered; nested loops are inside it
+				}
+				return true
+			})
+		}
+	}
+}
+
+// docHasHot reports whether a doc comment group carries the //xbc:hot
+// directive.
+func docHasHot(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if c.Text == "//xbc:hot" || strings.HasPrefix(c.Text, "//xbc:hot ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRegion flags allocating constructs inside one hot region.
+func checkRegion(pass *lint.Pass, body ast.Node) {
+	info := pass.Pkg.Info
+	allowedAppend := selfAppends(body)
+	var flagged map[ast.Node]bool // composite literals already reported via &T{...}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated per iteration in hot region; hoist it out of the loop")
+			return false // its body allocates once per closure, not per iteration
+		case *ast.CallExpr:
+			switch callee(info, n) {
+			case "make":
+				pass.Reportf(n.Pos(), "make in hot region allocates per iteration; preallocate scratch outside the loop")
+			case "append":
+				if !allowedAppend[n] && !isSliceReset(n) {
+					pass.Reportf(n.Pos(), "append in hot region without a reused destination; use buf = append(buf, ...) on preallocated scratch or append(buf[:0], ...)")
+				}
+			case "fmt.Sprintf", "fmt.Sprint", "fmt.Sprintln", "fmt.Errorf":
+				pass.Reportf(n.Pos(), "%s allocates in hot region; format outside the loop or record raw values", callee(info, n))
+			}
+		case *ast.UnaryExpr:
+			if lit, ok := compositeOperand(n); ok {
+				pass.Reportf(n.Pos(), "&%s{...} in hot region escapes to the heap per iteration; reuse a preallocated value", typeName(info, lit))
+				if flagged == nil {
+					flagged = make(map[ast.Node]bool)
+				}
+				flagged[lit] = true
+			}
+		case *ast.CompositeLit:
+			if flagged[n] {
+				return true
+			}
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot region allocates per iteration; preallocate scratch outside the loop")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot region allocates per iteration; preallocate scratch outside the loop")
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() != "+" {
+				return true
+			}
+			tv, ok := info.Types[n]
+			if !ok || tv.Value != nil { // constant-folded concatenation is free
+				return true
+			}
+			if t, ok := tv.Type.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+				pass.Reportf(n.Pos(), "string concatenation in hot region allocates per iteration; build strings outside the loop")
+			}
+		}
+		return true
+	})
+}
+
+// selfAppends collects append calls of the amortized-growth form
+// x = append(x, ...), which reuse capacity once warm and are allowed.
+func selfAppends(body ast.Node) map[*ast.CallExpr]bool {
+	allowed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// isSliceReset reports whether an append call writes into a re-sliced
+// existing buffer — append(buf[:0], ...) and friends.
+func isSliceReset(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	_, ok := call.Args[0].(*ast.SliceExpr)
+	return ok
+}
+
+// compositeOperand unwraps &T{...}.
+func compositeOperand(n *ast.UnaryExpr) (*ast.CompositeLit, bool) {
+	if n.Op.String() != "&" {
+		return nil, false
+	}
+	lit, ok := n.X.(*ast.CompositeLit)
+	return lit, ok
+}
+
+// callee names the called function: builtins by bare name, package
+// functions as pkg.Name; everything else (methods, closures) is "".
+func callee(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return fun.Name
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Parent() == fn.Pkg().Scope() {
+			path := fn.Pkg().Path()
+			if i := strings.LastIndexByte(path, '/'); i >= 0 {
+				path = path[i+1:]
+			}
+			return path + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// typeName renders a composite literal's type for the report.
+func typeName(info *types.Info, lit *ast.CompositeLit) string {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return "T"
+	}
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

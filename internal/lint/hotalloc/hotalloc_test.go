@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/hotalloc"
+	"xbc/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,65 @@
+// Package a is the hotalloc fixture: per-iteration allocations inside
+// //xbc:hot regions trigger; the reuse idioms the simulator's hot loops
+// rely on (self-append, slice-reset append, struct values) stay clean.
+package a
+
+import "fmt"
+
+type item struct {
+	id   int
+	name string
+}
+
+// hotLoop demonstrates loop-level annotation: only the annotated loop is
+// a hot region.
+func hotLoop(items []item, scratch []int) []int {
+	//xbc:hot
+	for _, it := range items {
+		p := &item{id: it.id} // want "escapes to the heap per iteration"
+		_ = p
+		buf := make([]int, 4) // want "make in hot region allocates per iteration"
+		_ = buf
+		fn := func() int { return it.id } // want "closure allocated per iteration"
+		_ = fn
+		tmp := []int{it.id} // want "slice literal in hot region allocates"
+		_ = tmp
+		m := map[int]bool{it.id: true} // want "map literal in hot region allocates"
+		_ = m
+		s := it.name + "!" // want "string concatenation in hot region allocates"
+		_ = s
+		msg := fmt.Sprintf("%d", it.id) // want "fmt.Sprintf allocates in hot region"
+		_ = msg
+		grown := append(scratch, it.id) // want "append in hot region without a reused destination"
+		_ = grown
+	}
+	return scratch
+}
+
+// coldLoop is identical but unannotated: nothing triggers.
+func coldLoop(items []item) []*item {
+	var out []*item
+	for i := range items {
+		out = append(out, &item{id: items[i].id})
+	}
+	return out
+}
+
+// hotFunc demonstrates function-level annotation and the allowed reuse
+// idioms.
+//
+//xbc:hot
+func hotFunc(items []item, scratch []int) []int {
+	scratch = scratch[:0]
+	for _, it := range items {
+		scratch = append(scratch, it.id) // amortized self-append: allowed
+		v := item{id: it.id}             // struct value, no heap: allowed
+		_ = v
+		const tag = "a" + "b" // constant-folded concatenation: allowed
+		_ = tag
+	}
+	out := append(scratch[:0], 1, 2) // slice-reset append: allowed
+	//xbc:ignore hotalloc cold-start growth only, capacity-guarded by caller
+	grow := make([]int, len(items))
+	_ = grow
+	return out
+}

@@ -1,0 +1,210 @@
+// Package lint is the small static-analysis framework behind cmd/xbclint.
+//
+// It is a stdlib-only stand-in for golang.org/x/tools/go/analysis (which
+// this repository deliberately does not depend on): an Analyzer inspects
+// one type-checked package at a time and reports Diagnostics, a driver
+// (cmd/xbclint) loads every module package and runs the analyzers whose
+// Match function accepts the package path, and linttest replays analyzers
+// over fixture packages with analysistest-style "// want" expectations.
+//
+// Findings are suppressed with a justified directive on the flagged line
+// or the line directly above it:
+//
+//	//xbc:ignore <analyzer> <reason>
+//
+// A directive without a reason is itself a finding: every suppression in
+// the tree must say why the flagged construct is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding the way compilers do, so editors can jump
+// to it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Pkg   *Package
+	diags []Diagnostic
+	name  string
+}
+
+// Fset returns the file set the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the identifier used in output and in ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Match reports whether the analyzer applies to a package import
+	// path when the driver sweeps the whole module. The fixture harness
+	// bypasses it.
+	Match func(pkgPath string) bool
+	// Run inspects the package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+// Analyze runs the analyzer over pkg and returns its findings with
+// suppressed diagnostics filtered out and malformed directives reported.
+func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
+	pass := &Pass{Pkg: pkg, name: a.Name}
+	a.Run(pass)
+	dirs := directivesOf(pkg)
+	// out must not alias pass.diags: the malformed-directive findings are
+	// prepended, and a shared backing array would overwrite real findings
+	// before the filter loop reads them.
+	out := make([]Diagnostic, 0, len(pass.diags)+len(dirs.malformed))
+	for _, d := range dirs.malformed {
+		// Malformed directives surface once, from whichever analyzer
+		// runs; the driver deduplicates identical findings.
+		out = append(out, Diagnostic{Pos: d, Analyzer: "directive",
+			Message: "//xbc:ignore needs an analyzer name and a justification: //xbc:ignore <analyzer> <reason>"})
+	}
+	for _, d := range pass.diags {
+		if !dirs.suppresses(a.Name, d.Pos) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignoreDirective is one parsed //xbc:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directives indexes a package's suppression comments.
+type directives struct {
+	byLine    map[string]map[int][]string // file -> line -> analyzer names
+	malformed []token.Position
+}
+
+func (ds *directives) suppresses(analyzer string, pos token.Position) bool {
+	lines := ds.byLine[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//xbc:ignore"
+
+// directivesOf parses every //xbc:ignore comment in the package.
+func directivesOf(pkg *Package) *directives {
+	ds := &directives{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //xbc:ignorexyz — not ours
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ds.malformed = append(ds.malformed, pos)
+					continue
+				}
+				m := ds.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ds.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+			}
+		}
+	}
+	return ds
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer for
+// stable output.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// DirectiveLines returns, per file, the set of lines carrying a comment
+// with the given //xbc:<name> directive (e.g. "hot"). Analyzers use it
+// for their own annotations, like hotalloc's //xbc:hot.
+func DirectiveLines(pkg *Package, name string) map[string]map[int]bool {
+	prefix := "//xbc:" + name
+	out := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// Inspect walks every file of the pass's package in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

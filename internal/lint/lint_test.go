@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// callFlagger reports every function call; enough surface to observe how
+// Analyze merges real findings with directive handling.
+var callFlagger = &Analyzer{
+	Name: "calls",
+	Doc:  "test analyzer: flags every call expression",
+	Run: func(pass *Pass) {
+		pass.Inspect(func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				pass.Reportf(call.Pos(), "call found")
+			}
+			return true
+		})
+	},
+}
+
+// A malformed (reason-less) //xbc:ignore must surface as its own finding
+// and must NOT suppress the finding on the line below it, while a
+// justified directive still suppresses. This also guards against the
+// prepended directive findings sharing a backing array with the real
+// findings and overwriting them.
+func TestAnalyzeMalformedDirective(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := callFlagger.Analyze(pkg)
+
+	var directive, calls int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive++
+			if !strings.Contains(d.Message, "justification") {
+				t.Errorf("directive finding message = %q", d.Message)
+			}
+		case "calls":
+			calls++
+		default:
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+	if directive != 1 {
+		t.Errorf("directive findings = %d, want 1", directive)
+	}
+	// Three calls in the fixture; the justified directive suppresses one.
+	if calls != 2 {
+		t.Errorf("call findings = %d, want 2 (malformed directive must not suppress; justified one must)", calls)
+	}
+}

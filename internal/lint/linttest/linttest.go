@@ -1,0 +1,123 @@
+// Package linttest runs lint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files
+// carry trailing comments of the form
+//
+//	badCall() // want "regexp matching the message"
+//
+// and the harness fails the test when an expectation goes unmatched or an
+// unexpected finding appears. Several expectations may sit on one line
+// ( // want "a" "b" ), and lines without a want comment must stay clean,
+// which is how non-triggering fixtures are expressed.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xbc/internal/lint"
+)
+
+// wantRe pulls the quoted expectations out of a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run analyzes the fixture package in dir and checks the findings against
+// the // want comments. The analyzer's Match filter is bypassed, exactly
+// like analysistest.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags := a.Analyze(pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering d, returning
+// whether one existed.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment of the fixture package.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of double-quoted strings ("a" "b" ...).
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern at %q", s)
+		}
+		out = append(out, strings.ReplaceAll(s[1:end], `\"`, `"`))
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

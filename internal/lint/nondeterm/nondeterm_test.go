@@ -1,0 +1,12 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/linttest"
+	"xbc/internal/lint/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	linttest.Run(t, nondeterm.Analyzer, "testdata/src/a")
+}

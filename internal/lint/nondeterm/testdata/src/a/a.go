@@ -1,0 +1,65 @@
+// Package a is the nondeterm fixture: each flagged construct carries a
+// want expectation; the surrounding code shows the non-triggering
+// deterministic alternatives.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Triggering: wall-clock reads.
+func clock() int64 {
+	t := time.Now() // want "time.Now makes output depend on the wall clock"
+	return t.Unix()
+}
+
+// Non-triggering: time values that do not read the clock.
+func duration() time.Duration {
+	return 5 * time.Second
+}
+
+// Triggering: the auto-seeded global math/rand source.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle is auto-seeded"
+	return rand.Intn(10)               // want "global rand.Intn is auto-seeded"
+}
+
+// Non-triggering: an explicitly seeded generator, including its methods.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Triggering: map iteration feeding a result.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized per run"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Non-triggering: a justified suppression on an order-insensitive loop.
+func mapSum(m map[string]int) int {
+	total := 0
+	//xbc:ignore nondeterm commutative integer sum, order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Non-triggering: slice and array iteration is ordered.
+func sliceOrder(xs []int, arr [4]int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for _, v := range arr {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+// Package m exercises malformed suppression directives: a reason-less
+// //xbc:ignore must be reported AND must not suppress the finding under
+// it.
+package m
+
+func f() {}
+
+func g() {
+	//xbc:ignore
+	f()
+	f()
+	//xbc:ignore calls justified reason here
+	f()
+}

@@ -62,6 +62,7 @@ func (j *Journal) load() error {
 	if err != nil {
 		return fmt.Errorf("runner: reading journal: %w", err)
 	}
+	//xbc:ignore errdrop read-only resume scan; read errors surface from the scanner
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)

@@ -69,6 +69,7 @@ func (p *Plot) Render(w io.Writer) error {
 	if math.IsInf(lo, 1) {
 		lo, hi = 0, 1
 	}
+	//xbc:ignore floatcmp degenerate-range guard; any nonzero spread must pass through
 	if hi == lo {
 		hi = lo + 1
 	}

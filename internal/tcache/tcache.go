@@ -337,6 +337,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 	fill := make([]traceInst, 0, f.cfg.MaxUops)
 	inDelivery := false
 	i := 0
+	//xbc:hot
 	for i < len(recs) {
 		ln, hit := cache.Lookup(recs[i].IP, predDir)
 		if hit {
@@ -378,6 +379,7 @@ func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
 // deliver supplies uops from the stored trace ln while the predicted path
 // follows the embedded path and both match the committed stream. Returns
 // the new stream index.
+//xbc:hot
 func (f *Frontend) deliver(recs []trace.Rec, i int, ln *line, preds *frontend.PredictorSet, m *frontend.Metrics) int {
 	m.DeliveryFetches++
 	for _, e := range ln.insts {
@@ -416,10 +418,10 @@ func (f *Frontend) deliver(recs []trace.Rec, i int, ln *line, preds *frontend.Pr
 // through the IC path, stores it, and returns the new stream index. The
 // caller owns the fill scratch; its contents are dead once build returns
 // (Insert copies them into line storage).
+//xbc:hot
 func (f *Frontend) build(recs []trace.Rec, i int, cache *Cache, path *frontend.ICPath, preds *frontend.PredictorSet, fillScratch *[]traceInst, m *frontend.Metrics) int {
 	startIP := recs[i].IP
 	fill := (*fillScratch)[:0]
-	defer func() { *fillScratch = fill }()
 	uops, branches := 0, 0
 
 	// Decode groups supply the build-mode uops; the fill unit watches the
@@ -474,6 +476,7 @@ func (f *Frontend) build(recs []trace.Rec, i int, cache *Cache, path *frontend.I
 		// Defensive: always make progress.
 		j++
 	}
+	*fillScratch = fill // keep any growth for the next episode
 	return j
 }
 

@@ -43,6 +43,7 @@ func Summarize(s *Stream) Summary {
 		}
 	}
 	sum.StaticInsts = len(seen)
+	//xbc:ignore nondeterm commutative integer sum; order-insensitive
 	for _, n := range seen {
 		sum.StaticUops += uint64(n)
 	}

@@ -25,6 +25,7 @@ func WorkingSet(s *Stream, windows ...int) []WorkingSetPoint {
 		var sums, count, max int
 		flush := func() {
 			u := 0
+			//xbc:ignore nondeterm commutative integer sum; order-insensitive
 			for _, n := range seen {
 				u += int(n)
 			}

@@ -67,6 +67,8 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 // buffers of xb are truncated and reused, so a run loop that threads one
 // dynXB through every iteration cuts blocks without allocating once warm.
 // The filled xb must not be retained across the next cutXBInto call.
+//
+//xbc:hot
 func cutXBInto(xb *dynXB, recs []trace.Rec, i, quota int, promoted promQuery) {
 	*xb = dynXB{start: i, rseq: xb.rseq[:0], inner: xb.inner[:0]}
 	j := i
@@ -137,8 +139,11 @@ func cutXBInto(xb *dynXB, recs []trace.Rec, i, quota int, promoted promQuery) {
 // buildRseq fills the reverse-order uop identity sequence, using the same
 // clamped per-record uop counts as the cut loop so len(rseq) == uops. The
 // caller's existing rseq buffer is reused when its capacity suffices.
+//
+//xbc:hot
 func (xb *dynXB) buildRseq(recs []trace.Rec, quota int) {
 	if cap(xb.rseq) < xb.uops {
+		//xbc:ignore hotalloc capacity-guarded warm-up; amortized to one allocation per run
 		xb.rseq = make([]isa.UopID, 0, quota)
 	} else {
 		xb.rseq = xb.rseq[:0]

@@ -2,6 +2,7 @@ package xbcore
 
 import (
 	"fmt"
+	"sort"
 
 	"xbc/internal/isa"
 )
@@ -203,7 +204,16 @@ func (c *Cache) CheckInvariants() error {
 			return fmt.Errorf("xbcore: line %d has order %d", i, ln.order)
 		}
 	}
-	for endIP, e := range c.entries {
+	// Walk entries in address order so the first violation reported is the
+	// same on every run (map iteration order would make failures flaky).
+	ips := make([]isa.Addr, 0, len(c.entries))
+	//xbc:ignore nondeterm key collection; sorted before use
+	for endIP := range c.entries {
+		ips = append(ips, endIP)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, endIP := range ips {
+		e := c.entries[endIP]
 		set := c.setOf(endIP)
 		for _, v := range e.variants {
 			if len(v.rseq) > c.cfg.Quota {

@@ -161,6 +161,7 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 	// across iterations, so the committed-block loop does not allocate.
 	var cur dynXB
 	i := 0
+	//xbc:hot
 	for i < len(recs) {
 		cutXBInto(&cur, recs, i, f.cfg.Quota, promoted)
 		if cur.end == cur.start {
@@ -228,27 +229,33 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 	return m, nil
 }
 
+// charge adds a misprediction penalty to the metrics (suppressed in the
+// oracle limit study, where prediction is perfect).
+func (f *Frontend) charge(st *runState, m *frontend.Metrics, c int) {
+	if f.cfg.Oracle {
+		return
+	}
+	m.PenaltyCycles += uint64(c)
+	if st.delivery {
+		m.DeliveryPenalty += uint64(c)
+	}
+}
+
+// oracleFollow models the oracle limit where the fetch engine always
+// knows the successor's location if the block is resident at all.
+func (f *Frontend) oracleFollow(st *runState, cur dynXB) Ptr {
+	v, ok := st.cache.Locate(cur.endIP, cur.rseq, cur.uops)
+	return Ptr{EndIP: cur.endIP, Variant: v, Offset: cur.uops, Valid: ok}
+}
+
 // resolvePrev predicts the previous XB's ending transfer, charges
 // misprediction penalties, and returns the XBTB pointer along the
 // committed path toward cur (invalid = XBTB miss / misfetch).
+//
+//xbc:hot
 func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr {
 	if st.prevEntry == nil {
 		return Ptr{}
-	}
-	charge := func(c int) {
-		if f.cfg.Oracle {
-			return // limit study: prediction is perfect
-		}
-		m.PenaltyCycles += uint64(c)
-		if st.delivery {
-			m.DeliveryPenalty += uint64(c)
-		}
-	}
-	// In the oracle limit the fetch engine always knows the successor's
-	// location if the block is resident at all.
-	oracleFollow := func() Ptr {
-		v, ok := st.cache.Locate(cur.endIP, cur.rseq, cur.uops)
-		return Ptr{EndIP: cur.endIP, Variant: v, Offset: cur.uops, Valid: ok}
 	}
 	// Next-XB prediction ([Jaco97]-style): a direct hit supplies the
 	// successor pointer without spending a per-branch prediction; a miss
@@ -271,6 +278,9 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 				// The XRSB was already popped when the return-ending XB
 				// committed; just consume the pending pointer.
 				st.retPtrValid = false
+			default:
+				// Call, Jump, Seq: unconditional along the committed path;
+				// no predictor to keep warm.
 			}
 			return pred
 		}
@@ -284,7 +294,7 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 			// prediction was spent. A violation is a misfetch with a
 			// full re-steer penalty.
 			if st.prevViolated {
-				charge(f.fecfg.MispredictPenalty)
+				f.charge(st, m, f.fecfg.MispredictPenalty)
 				st.promViolations++
 			}
 		} else {
@@ -293,7 +303,7 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 			st.xbp.Update(st.prevIP, st.prevTaken)
 			if pred != st.prevTaken {
 				m.CondMiss++
-				charge(f.fecfg.MispredictPenalty)
+				f.charge(st, m, f.fecfg.MispredictPenalty)
 			}
 		}
 		if st.prevTaken {
@@ -308,9 +318,9 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 		pred, ok := st.xibtb.Predict(st.prevIP)
 		if !ok || !pred.Matches(cur.endIP, cur.uops) {
 			m.IndMiss++
-			charge(f.fecfg.MispredictPenalty)
+			f.charge(st, m, f.fecfg.MispredictPenalty)
 			if f.cfg.Oracle {
-				follow = oracleFollow()
+				follow = f.oracleFollow(st, cur)
 			} else {
 				// The correct successor cannot be located by target
 				// address (section 3.5): only a matching XiBTB pointer
@@ -324,9 +334,9 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 		m.RetExec++
 		if !st.retPtrValid || !st.retPtr.Matches(cur.endIP, cur.uops) {
 			m.RetMiss++
-			charge(f.fecfg.MispredictPenalty)
+			f.charge(st, m, f.fecfg.MispredictPenalty)
 			if f.cfg.Oracle {
-				follow = oracleFollow()
+				follow = f.oracleFollow(st, cur)
 			} else {
 				follow = Ptr{}
 			}
@@ -341,6 +351,7 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 
 // deliverXB tries to supply cur from the XBC; returns false on any miss
 // (caller switches to build mode).
+//xbc:hot
 func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Metrics) bool {
 	if !follow.Valid {
 		st.reason = abandonPtrInvalid + abandonReason(st.prevClass)
@@ -388,6 +399,7 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 // (the XBTB supplies two pointers), subject to bank conflicts and the
 // 16-uop fetch width. Conflicting blocks are deferred to the next cycle
 // and feed the dynamic-placement counters (section 3.10).
+//xbc:hot
 func (f *Frontend) packFetch(st *runState, cur dynXB, variant uint32, banks uint, m *frontend.Metrics) {
 	fetchWidth := f.cfg.Banks * f.cfg.BankUops
 	if f.cfg.XBsPerCycle <= 1 {
@@ -449,6 +461,7 @@ func (f *Frontend) buildXB(st *runState, recs []trace.Rec, cur dynXB, m *fronten
 // cur's entry, updates the previous XB's pointer along the committed path,
 // trains promotion counters, and maintains the XRSB and its learning
 // shadow stack.
+//xbc:hot
 func (f *Frontend) commit(st *runState, cur dynXB, m *frontend.Metrics) {
 	e := st.xbtb.Ensure(cur.endIP, cur.class)
 	variant, ok := st.cache.Locate(cur.endIP, cur.rseq, cur.uops)
@@ -520,6 +533,8 @@ func (f *Frontend) commit(st *runState, cur dynXB, m *frontend.Metrics) {
 			st.pendingCall = callIP
 			st.pendingCallValid = true
 		}
+	default:
+		// CondBranch, IndirectJump, Jump, Seq: no return-stack activity.
 	}
 
 	st.prevEntry = e
