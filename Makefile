@@ -3,16 +3,24 @@
 GO ?= go
 
 # Where `make bench` records the frontend benchmark numbers. The checked-in
-# baselines are BENCH_SEED.json (the original tree) and BENCH_PR2.json (the
-# allocation-free frontends); record the working tree into BENCH_CURRENT.json
-# and diff against a baseline:
+# baselines are BENCH_SEED.json (the original tree), BENCH_PR2.json (the
+# allocation-free frontends) and BENCH_PR4.json (the arena-backed storage);
+# record the working tree into BENCH_CURRENT.json and diff against a
+# baseline:
 #
 #	make bench                                        # writes BENCH_CURRENT.json
 #	make bench-compare OLD=BENCH_PR2.json NEW=BENCH_CURRENT.json
+#	make bench-gate                                   # record + gate vs BENCH_PR4.json
 #
 BENCH_OUT ?= BENCH_CURRENT.json
 
-.PHONY: all check build test vet lint race bench bench-smoke bench-compare experiments calibrate fuzz clean
+# The throughput floor `make bench-gate` enforces against the checked-in
+# baseline. Wider than the default 10% because CI runners (and this
+# benchmark's 5-iteration budget) are noisy; the gate is for cliffs, not
+# jitter.
+MAXSLOW ?= 35
+
+.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-profile experiments calibrate fuzz clean
 
 all: check
 
@@ -51,9 +59,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Diff two `make bench` recordings; fails on >10% allocs/op growth.
+# Diff two `make bench` recordings; fails on >10% allocs/op growth or
+# >10% uops/s slowdown.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# The speed floor: record the working tree and gate it against the
+# checked-in PR 4 baseline — any frontend losing more than MAXSLOW% of
+# its recorded uops/s (or growing allocs/op past 10%) fails the build.
+bench-gate: bench
+	$(GO) run ./cmd/benchjson -compare -maxslow $(MAXSLOW) BENCH_PR4.json $(BENCH_OUT)
+
+# Two-command profiling flow (see README): record a CPU profile of the
+# XBC frontend benchmark, then open the interactive pprof viewer on it.
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkFrontendXBC$$' -benchtime 150x -cpuprofile cpu.prof -o xbc-bench.test .
+	@echo "profile written: inspect with '$(GO) tool pprof xbc-bench.test cpu.prof'"
 
 # Full reproduction of the paper's figures and the extension studies.
 experiments:

@@ -12,7 +12,9 @@
 //
 // Compare mode prints per-benchmark deltas and exits 1 when any
 // benchmark's allocs/op grew by more than -max-alloc-regress percent
-// (default 10), making `make bench-compare` a usable CI gate.
+// (default 10) or its uops/s throughput fell by more than -maxslow
+// percent (default 10), making `make bench-compare` and `make
+// bench-gate` usable CI gates.
 package main
 
 import (
@@ -111,10 +113,11 @@ func load(path string) (*File, error) {
 }
 
 // compareFiles diffs two recordings, writing the delta table to w. It
-// returns the number of allocs/op regressions past the gate and the
-// benchmarks recorded in old but absent from new: a benchmark that
+// returns the number of regressions past either gate — allocs/op growth
+// beyond maxAllocRegressPct or uops/s slowdown beyond maxSlowPct — and
+// the benchmarks recorded in old but absent from new: a benchmark that
 // disappeared between runs must not silently read as a pass.
-func compareFiles(oldF, newF *File, maxAllocRegressPct float64, w io.Writer) (regressions int, missing []string, err error) {
+func compareFiles(oldF, newF *File, maxAllocRegressPct, maxSlowPct float64, w io.Writer) (regressions int, missing []string, err error) {
 	names := make([]string, 0, len(newF.Benchmarks))
 	//xbc:ignore nondeterm key collection; sorted before use
 	for n := range newF.Benchmarks {
@@ -163,11 +166,23 @@ func compareFiles(oldF, newF *File, maxAllocRegressPct float64, w io.Writer) (re
 			pr("  ^ REGRESSION: allocs/op grew past the %.0f%% gate\n", maxAllocRegressPct)
 			regressions++
 		}
+		// Throughput gate, independent of the alloc gate so one benchmark
+		// can trip both. Strict <: landing exactly on the boundary passes.
+		switch {
+		case o.UopsPerS > 0 && nw.UopsPerS == 0:
+			// The metric vanished — a harness change that stops reporting
+			// uops/s must not read as "no slowdown".
+			pr("  ^ REGRESSION: uops/s metric disappeared from the new recording\n")
+			regressions++
+		case o.UopsPerS > 0 && nw.UopsPerS < o.UopsPerS*(1-maxSlowPct/100):
+			pr("  ^ REGRESSION: uops/s fell past the %.0f%% gate\n", maxSlowPct)
+			regressions++
+		}
 	}
 	return regressions, missing, err
 }
 
-func compare(oldPath, newPath string, maxAllocRegressPct float64) int {
+func compare(oldPath, newPath string, maxAllocRegressPct, maxSlowPct float64) int {
 	oldF, err := load(oldPath)
 	if err != nil {
 		log.Fatal(err)
@@ -176,7 +191,7 @@ func compare(oldPath, newPath string, maxAllocRegressPct float64) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	regressions, missing, err := compareFiles(oldF, newF, maxAllocRegressPct, os.Stdout)
+	regressions, missing, err := compareFiles(oldF, newF, maxAllocRegressPct, maxSlowPct, os.Stdout)
 	for _, n := range missing {
 		log.Printf("warning: benchmark %s in %s is missing from %s", n, oldPath, newPath)
 	}
@@ -199,6 +214,7 @@ func main() {
 		in        = flag.String("in", "", "parse an existing `go test -bench` log instead of running")
 		cmp       = flag.Bool("compare", false, "compare two JSON files: benchjson -compare OLD NEW")
 		maxAlloc  = flag.Float64("max-alloc-regress", 10, "compare: max allowed allocs/op growth in percent")
+		maxSlow   = flag.Float64("maxslow", 10, "compare: max allowed uops/s slowdown in percent")
 	)
 	flag.Parse()
 
@@ -206,7 +222,7 @@ func main() {
 		if flag.NArg() != 2 {
 			log.Fatal("usage: benchjson -compare OLD.json NEW.json")
 		}
-		os.Exit(compare(flag.Arg(0), flag.Arg(1), *maxAlloc))
+		os.Exit(compare(flag.Arg(0), flag.Arg(1), *maxAlloc, *maxSlow))
 	}
 
 	var (

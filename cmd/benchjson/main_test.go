@@ -20,7 +20,7 @@ func TestCompareFilesMissingInNew(t *testing.T) {
 		"Frontend/xbc": {AllocsPerOp: 10, UopsPerS: 1e6},
 	})
 	var sb strings.Builder
-	reg, missing, err := compareFiles(oldF, newF, 10, &sb)
+	reg, missing, err := compareFiles(oldF, newF, 10, 10, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestCompareFilesZeroAllocBaseline(t *testing.T) {
 		"Frontend/xbc": {AllocsPerOp: 3, UopsPerS: 1e6},
 	})
 	var sb strings.Builder
-	reg, missing, err := compareFiles(oldF, newF, 10, &sb)
+	reg, missing, err := compareFiles(oldF, newF, 10, 10, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestCompareFilesZeroBaselineStaysZero(t *testing.T) {
 	oldF := file(map[string]Result{"Frontend/xbc": {AllocsPerOp: 0}})
 	newF := file(map[string]Result{"Frontend/xbc": {AllocsPerOp: 0}})
 	var sb strings.Builder
-	reg, _, err := compareFiles(oldF, newF, 10, &sb)
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestCompareFilesGateBoundary(t *testing.T) {
 		"Regress": {AllocsPerOp: 112}, // past it
 	})
 	var sb strings.Builder
-	reg, _, err := compareFiles(oldF, newF, 10, &sb)
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +100,95 @@ func TestCompareFilesGateBoundary(t *testing.T) {
 	}
 }
 
+func TestCompareFilesThroughputGate(t *testing.T) {
+	oldF := file(map[string]Result{
+		"AtGate":   {AllocsPerOp: 5, UopsPerS: 1e6},
+		"PastGate": {AllocsPerOp: 5, UopsPerS: 1e6},
+		"Faster":   {AllocsPerOp: 5, UopsPerS: 1e6},
+	})
+	newF := file(map[string]Result{
+		"AtGate":   {AllocsPerOp: 5, UopsPerS: 9e5},   // exactly -10%: allowed
+		"PastGate": {AllocsPerOp: 5, UopsPerS: 8.9e5}, // past it
+		"Faster":   {AllocsPerOp: 5, UopsPerS: 2e6},
+	})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 1 {
+		t.Errorf("regressions = %d, want 1 (only PastGate):\n%s", reg, sb.String())
+	}
+	if !strings.Contains(sb.String(), "uops/s fell past the 10% gate") {
+		t.Errorf("throughput regression line missing:\n%s", sb.String())
+	}
+}
+
+func TestCompareFilesThroughputGateWidens(t *testing.T) {
+	oldF := file(map[string]Result{"F": {AllocsPerOp: 5, UopsPerS: 1e6}})
+	newF := file(map[string]Result{"F": {AllocsPerOp: 5, UopsPerS: 7e5}})
+	var sb strings.Builder
+	// A -30% slowdown trips the default gate but passes a widened one, so
+	// noisy CI runners can loosen -maxslow without editing the tool.
+	if reg, _, err := compareFiles(oldF, newF, 10, 10, &sb); err != nil || reg != 1 {
+		t.Errorf("default gate: regressions = %d, err = %v, want 1, nil", reg, err)
+	}
+	if reg, _, err := compareFiles(oldF, newF, 10, 35, &sb); err != nil || reg != 0 {
+		t.Errorf("widened gate: regressions = %d, err = %v, want 0, nil", reg, err)
+	}
+}
+
+func TestCompareFilesThroughputMetricDisappeared(t *testing.T) {
+	oldF := file(map[string]Result{"F": {AllocsPerOp: 5, UopsPerS: 1e6}})
+	newF := file(map[string]Result{"F": {AllocsPerOp: 5}})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A recording whose uops/s metric vanished must gate, not pass: the
+	// slowdown is unmeasurable, which is worse than measurable.
+	if reg != 1 {
+		t.Errorf("regressions = %d, want 1:\n%s", reg, sb.String())
+	}
+	if !strings.Contains(sb.String(), "metric disappeared") {
+		t.Errorf("disappeared-metric line missing:\n%s", sb.String())
+	}
+}
+
+func TestCompareFilesThroughputNeverRecorded(t *testing.T) {
+	// Benchmarks that never report uops/s (e.g. the figure regenerators)
+	// must not trip the throughput gate on either side.
+	oldF := file(map[string]Result{"Figure1": {AllocsPerOp: 5}})
+	newF := file(map[string]Result{"Figure1": {AllocsPerOp: 5}})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 0 {
+		t.Errorf("regressions = %d, want 0:\n%s", reg, sb.String())
+	}
+}
+
+func TestCompareFilesBothGatesTrip(t *testing.T) {
+	oldF := file(map[string]Result{"F": {AllocsPerOp: 10, UopsPerS: 1e6}})
+	newF := file(map[string]Result{"F": {AllocsPerOp: 100, UopsPerS: 1e5}})
+	var sb strings.Builder
+	reg, _, err := compareFiles(oldF, newF, 10, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 2 {
+		t.Errorf("regressions = %d, want 2 (alloc and throughput):\n%s", reg, sb.String())
+	}
+}
+
 func TestCompareFilesNoCommon(t *testing.T) {
 	oldF := file(map[string]Result{"A": {AllocsPerOp: 1}})
 	newF := file(map[string]Result{"B": {AllocsPerOp: 1}})
 	var sb strings.Builder
-	_, missing, err := compareFiles(oldF, newF, 10, &sb)
+	_, missing, err := compareFiles(oldF, newF, 10, 10, &sb)
 	if err == nil {
 		t.Fatal("want error when the recordings share no benchmarks")
 	}

@@ -51,11 +51,11 @@ func TestHeadLineEvictedFirst(t *testing.T) {
 
 	set := c.setOf(0x1000)
 	var stamps [3]uint64
+	vi := c.variantByID(c.entryOf(0x1000), id)
+	refs := c.vrefs(vi)
 	for o := 0; o < 3; o++ {
-		e := c.entries[0x1000]
-		v := e.variantByID(id)
-		ref := v.refs[o]
-		stamps[o] = c.lineAt(set, int(ref.bank), int(ref.way)).stamp
+		ref := refs[o]
+		stamps[o] = c.lineHdrs[c.lineIndex(set, int(ref.bank), int(ref.way))].stamp
 	}
 	if !(stamps[2] < stamps[1] && stamps[1] < stamps[0]) {
 		t.Fatalf("head-line aging bias missing: stamps %v (order 2 must be oldest)", stamps)

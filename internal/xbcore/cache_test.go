@@ -231,10 +231,9 @@ func TestSetSearchDisabledMissesOnStaleRef(t *testing.T) {
 	id, _, _ := c.Insert(0x1000, rseq, 0)
 	// Corrupt the variant's ref to simulate a stale bank pointer while
 	// the line itself is still resident somewhere.
-	e := c.entries[0x1000]
-	v := e.variantByID(id)
-	orig := v.refs[0]
-	v.refs[0] = lineRef{bank: (orig.bank + 1) % 4, way: orig.way}
+	refs := c.vrefs(c.variantByID(c.entryOf(0x1000), id))
+	orig := refs[0]
+	refs[0] = lineRef{bank: (orig.bank + 1) % 4, way: orig.way}
 	if res := c.Fetch(0x1000, id, 4, rseq); res.OK {
 		t.Fatal("stale ref fetch succeeded with set search disabled")
 	}
@@ -242,10 +241,9 @@ func TestSetSearchDisabledMissesOnStaleRef(t *testing.T) {
 	cfg.SetSearch = true
 	c2, _ := NewCache(cfg)
 	id2, _, _ := c2.Insert(0x1000, rseq, 0)
-	e2 := c2.entries[0x1000]
-	v2 := e2.variantByID(id2)
-	orig2 := v2.refs[0]
-	v2.refs[0] = lineRef{bank: (orig2.bank + 1) % 4, way: orig2.way}
+	refs2 := c2.vrefs(c2.variantByID(c2.entryOf(0x1000), id2))
+	orig2 := refs2[0]
+	refs2[0] = lineRef{bank: (orig2.bank + 1) % 4, way: orig2.way}
 	res := c2.Fetch(0x1000, id2, 4, rseq)
 	if !res.OK || !res.Searched {
 		t.Fatalf("set search did not repair: %+v", res)

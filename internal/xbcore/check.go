@@ -37,7 +37,7 @@ func newChecker(cfg Config, cache *Cache, xbtb *XBTB) *checker {
 }
 
 // afterCommit runs the per-XB checks and the periodic full sweep.
-func (k *checker) afterCommit(cur dynXB, e *Entry) error {
+func (k *checker) afterCommit(cur *dynXB, e *Entry) error {
 	k.commits++
 	if err := k.checkXB(cur); err != nil {
 		return err
@@ -60,7 +60,7 @@ func (k *checker) afterCommit(cur dynXB, e *Entry) error {
 }
 
 // checkXB validates the committed dynamic block itself.
-func (k *checker) checkXB(cur dynXB) error {
+func (k *checker) checkXB(cur *dynXB) error {
 	if cur.uops < 1 || cur.uops > k.cfg.Quota {
 		return fmt.Errorf("xbcore: check: XB ending %#x has %d uops (quota %d)", cur.endIP, cur.uops, k.cfg.Quota)
 	}
@@ -73,26 +73,29 @@ func (k *checker) checkXB(cur dynXB) error {
 // checkVariant verifies bank-mask consistency for the variant holding the
 // just-committed block: its resident chunks must occupy mutually distinct
 // banks with matching order and content.
-func (k *checker) checkVariant(cur dynXB) error {
-	e := k.cache.entries[cur.endIP]
-	if e == nil {
+func (k *checker) checkVariant(cur *dynXB) error {
+	c := k.cache
+	ei := c.entryOf(cur.endIP)
+	if ei < 0 {
 		return nil // block not resident (e.g. build without insert success)
 	}
-	set := k.cache.setOf(cur.endIP)
-	for _, v := range e.variants {
-		if len(v.rseq) > k.cfg.Quota {
-			return fmt.Errorf("xbcore: check: variant of %#x stores %d uops (quota %d)", cur.endIP, len(v.rseq), k.cfg.Quota)
+	set := c.setOf(cur.endIP)
+	for vi := c.entries[ei].head; vi >= 0; vi = c.variants[vi].next {
+		rlen := int(c.variants[vi].rlen)
+		if rlen > k.cfg.Quota {
+			return fmt.Errorf("xbcore: check: variant of %#x stores %d uops (quota %d)", cur.endIP, rlen, k.cfg.Quota)
 		}
+		refs := c.vrefs(vi)
 		banks := uint(0)
-		for o := 0; o < v.orders(k.cfg.BankUops) && o < len(v.refs); o++ {
-			ref := v.refs[o]
+		for o := 0; o < c.ordersOf(rlen) && o < len(refs); o++ {
+			ref := refs[o]
 			if ref.bank < 0 {
 				continue
 			}
 			if int(ref.bank) >= k.cfg.Banks || int(ref.way) >= k.cfg.Ways {
 				return fmt.Errorf("xbcore: check: variant of %#x references bank %d way %d", cur.endIP, ref.bank, ref.way)
 			}
-			if !k.cache.lineAt(set, int(ref.bank), int(ref.way)).matches(cur.endIP, o, v.chunk(o, k.cfg.BankUops)) {
+			if !c.lineMatches(c.lineIndex(set, int(ref.bank), int(ref.way)), cur.endIP, o, c.chunk(vi, o)) {
 				continue // stale reference: legal, repaired lazily by set search
 			}
 			if banks&(1<<uint(ref.bank)) != 0 {
@@ -122,20 +125,20 @@ func (k *checker) checkPtr(from isa.Addr, kind string, p Ptr, minOffset int) err
 	if !p.Valid {
 		return nil
 	}
-	if p.Offset < minOffset || p.Offset > k.cfg.Quota {
+	if int(p.Offset) < minOffset || int(p.Offset) > k.cfg.Quota {
 		return fmt.Errorf("xbcore: check: %s pointer of %#x has offset %d (quota %d)", kind, from, p.Offset, k.cfg.Quota)
 	}
-	e := k.cache.entries[p.EndIP]
-	if e == nil {
+	ei := k.cache.entryOf(p.EndIP)
+	if ei < 0 {
 		return fmt.Errorf("xbcore: check: %s pointer of %#x names %#x, which has no cache entry", kind, from, p.EndIP)
 	}
-	v := e.variantByID(p.Variant)
-	if v == nil {
+	vi := k.cache.variantByID(ei, p.Variant)
+	if vi < 0 {
 		return fmt.Errorf("xbcore: check: %s pointer of %#x names dead variant %d of %#x", kind, from, p.Variant, p.EndIP)
 	}
-	if p.Offset > len(v.rseq) {
+	if rlen := int(k.cache.variants[vi].rlen); int(p.Offset) > rlen {
 		return fmt.Errorf("xbcore: check: %s pointer of %#x reaches %d uops into variant %d of %#x, which stores %d",
-			kind, from, p.Offset, p.Variant, p.EndIP, len(v.rseq))
+			kind, from, p.Offset, p.Variant, p.EndIP, rlen)
 	}
 	return nil
 }

@@ -52,15 +52,15 @@ func TestCheckerRejectsBadXB(t *testing.T) {
 	k := newChecker(cfg, cache, NewXBTB(cfg))
 
 	over := dynXB{endIP: 0x100, uops: cfg.Quota + 1}
-	if err := k.checkXB(over); err == nil || !strings.Contains(err.Error(), "quota") {
+	if err := k.checkXB(&over); err == nil || !strings.Contains(err.Error(), "quota") {
 		t.Errorf("over-quota XB not rejected: %v", err)
 	}
 	empty := dynXB{endIP: 0x100, uops: 0}
-	if err := k.checkXB(empty); err == nil {
+	if err := k.checkXB(&empty); err == nil {
 		t.Error("zero-uop XB not rejected")
 	}
 	short := dynXB{endIP: 0x100, uops: 4, rseq: []isa.UopID{isa.Uop(0x100, 0)}}
-	if err := k.checkXB(short); err == nil || !strings.Contains(err.Error(), "rseq") {
+	if err := k.checkXB(&short); err == nil || !strings.Contains(err.Error(), "rseq") {
 		t.Errorf("uops/rseq mismatch not rejected: %v", err)
 	}
 }
@@ -85,7 +85,7 @@ func TestCheckerRejectsDanglingPointer(t *testing.T) {
 	// Resolvable target, but the offset reaches past the stored length.
 	rseq := []isa.UopID{isa.Uop(0xdead, 1), isa.Uop(0xdead, 0)}
 	id, _, _ := cache.Insert(0xdead, rseq, 0)
-	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: len(rseq) + 1, Valid: true}
+	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: int32(len(rseq)) + 1, Valid: true}
 	if err := k.sweep(); err == nil || !strings.Contains(err.Error(), "reaches") {
 		t.Fatalf("over-reaching offset not caught: %v", err)
 	}
@@ -97,7 +97,7 @@ func TestCheckerRejectsDanglingPointer(t *testing.T) {
 	}
 
 	// A well-formed pointer passes.
-	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: len(rseq), Valid: true}
+	e.Taken = Ptr{EndIP: 0xdead, Variant: id, Offset: int32(len(rseq)), Valid: true}
 	if err := k.sweep(); err != nil {
 		t.Fatalf("valid pointer rejected: %v", err)
 	}

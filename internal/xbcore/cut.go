@@ -70,7 +70,17 @@ func cutXB(recs []trace.Rec, i, quota int, promoted promQuery) dynXB {
 //
 //xbc:hot
 func cutXBInto(xb *dynXB, recs []trace.Rec, i, quota int, promoted promQuery) {
-	*xb = dynXB{start: i, rseq: xb.rseq[:0], inner: xb.inner[:0]}
+	// Field-wise reset: a composite-literal assignment copies a full
+	// temporary dynXB through the stack on every block.
+	xb.start, xb.end = i, 0
+	xb.endIP = 0
+	xb.uops = 0
+	xb.class = 0
+	xb.taken = false
+	xb.rseq = xb.rseq[:0]
+	xb.endPromoted = false
+	xb.violated = false
+	xb.inner = xb.inner[:0]
 	j := i
 	for j < len(recs) {
 		r := recs[j]
@@ -138,20 +148,26 @@ func cutXBInto(xb *dynXB, recs []trace.Rec, i, quota int, promoted promQuery) {
 
 // buildRseq fills the reverse-order uop identity sequence, using the same
 // clamped per-record uop counts as the cut loop so len(rseq) == uops. The
-// caller's existing rseq buffer is reused when its capacity suffices.
+// caller's existing rseq buffer is reused when its capacity suffices, and
+// each slot is written exactly once: a record's uop identities are
+// consecutive (isa.Uop packs the slot index into the low bits), so the
+// inner loop is a descending counter, not a re-encode per uop.
 //
 //xbc:hot
 func (xb *dynXB) buildRseq(recs []trace.Rec, quota int) {
 	if cap(xb.rseq) < xb.uops {
 		//xbc:ignore hotalloc capacity-guarded warm-up; amortized to one allocation per run
 		xb.rseq = make([]isa.UopID, 0, quota)
-	} else {
-		xb.rseq = xb.rseq[:0]
 	}
-	for k := xb.end - 1; k >= xb.start; k-- {
-		r := recs[k]
-		for u := clampUops(r, quota) - 1; u >= 0; u-- {
-			xb.rseq = append(xb.rseq, isa.Uop(r.IP, u))
+	xb.rseq = xb.rseq[:xb.uops]
+	k := 0
+	for r := xb.end - 1; r >= xb.start; r-- {
+		n := clampUops(recs[r], quota)
+		id := isa.Uop(recs[r].IP, n-1)
+		for u := n - 1; u >= 0; u-- {
+			xb.rseq[k] = id
+			id--
+			k++
 		}
 	}
 }

@@ -2,7 +2,7 @@ package xbcore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"xbc/internal/isa"
 )
@@ -14,45 +14,84 @@ type FetchResult struct {
 	Searched bool // a set search repaired stale references (1-cycle cost)
 }
 
+// resolveRef resolves a pointer's direct variant reference. A Ptr handed
+// out by LocatePtr carries the variant's pool index; since variants are
+// never freed and ids are never reused within an entry, a reference whose
+// id and ending address still agree with the pool record IS the variant
+// the (EndIP, Variant) pair would find — the hash lookup and the
+// variant-list walk are skipped entirely. Returns -1 when the pointer
+// carries no reference (zero value, or deserialized externally).
+func (c *Cache) resolveRef(p Ptr) int32 {
+	vi := p.vref - 1
+	if vi < 0 || int(vi) >= len(c.variants) {
+		return -1
+	}
+	if c.variants[vi].id != p.Variant || c.entries[c.variants[vi].entry].endIP != p.EndIP {
+		return -1
+	}
+	return vi
+}
+
 // Fetch attempts to supply the first length uops (counting from the end)
 // of the given variant; dynRseq is the committed uop sequence in reverse
 // order and must match the stored content — a mismatch is an XBC miss.
 // Stale line references are repaired by set search when enabled. On
 // success LRU stamps are refreshed with the head-line aging bias.
 func (c *Cache) Fetch(endIP isa.Addr, variantID uint32, length int, dynRseq []isa.UopID) FetchResult {
-	e := c.entries[endIP]
-	if e == nil {
+	ei := c.entryOf(endIP)
+	if ei < 0 {
 		return FetchResult{}
 	}
-	v := e.variantByID(variantID)
-	if v == nil || len(v.rseq) < length {
+	vi := c.variantByID(ei, variantID)
+	if vi < 0 {
 		return FetchResult{}
 	}
-	if commonReversePrefix(v.rseq, dynRseq) < length {
+	return c.fetchVariant(vi, endIP, length, dynRseq)
+}
+
+// FetchPtr is Fetch through an XBTB pointer: when the pointer carries a
+// live direct reference (the precomputed location the paper's BANK_MASK/
+// OFFSET fields model), the data array is reached without the index lookup
+// or the variant-list walk.
+func (c *Cache) FetchPtr(p Ptr, length int, dynRseq []isa.UopID) FetchResult {
+	if vi := c.resolveRef(p); vi >= 0 {
+		return c.fetchVariant(vi, p.EndIP, length, dynRseq)
+	}
+	return c.Fetch(p.EndIP, p.Variant, length, dynRseq)
+}
+
+// fetchVariant is the access proper, after the variant has been resolved.
+func (c *Cache) fetchVariant(vi int32, endIP isa.Addr, length int, dynRseq []isa.UopID) FetchResult {
+	if int(c.variants[vi].rlen) < length {
+		return FetchResult{}
+	}
+	if commonReversePrefix(c.vrseq(vi), dynRseq) < length {
 		// The stored sequence diverges from the committed path: the
 		// pointer is stale (e.g. the code at this address changed paths).
 		return FetchResult{}
 	}
-	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
+	set := c.setOf(endIP)
+	orders := c.ordersOf(length)
+	refs := c.vrefs(vi)
 	res := FetchResult{OK: true}
 	// Banks pinned by resident chunks beyond the entry depth: repairs of
 	// shallower orders must not collide with them.
-	pinned := c.residentBanksFrom(c.setOf(endIP), endIP, v, orders)
+	pinned := c.residentBanksFrom(set, endIP, vi, orders)
 	for o := 0; o < orders; o++ {
-		chunk := v.chunk(o, c.cfg.BankUops)
-		ref := v.refs[o]
+		chunk := c.chunk(vi, o)
+		ref := refs[o]
 		stale := ref.bank < 0 ||
 			res.Banks&(1<<uint(ref.bank)) != 0 || // bank already used by a lower order
-			!c.lineAt(c.setOf(endIP), int(ref.bank), int(ref.way)).matches(endIP, o, chunk)
+			!c.lineMatches(c.lineIndex(set, int(ref.bank), int(ref.way)), endIP, o, chunk)
 		if stale {
 			if !c.cfg.SetSearch {
 				return FetchResult{}
 			}
-			fr, ok := c.findLine(c.setOf(endIP), endIP, o, chunk, res.Banks|pinned)
+			fr, ok := c.findLine(set, endIP, o, chunk, res.Banks|pinned)
 			if !ok {
 				return FetchResult{} // truly gone: XBC miss
 			}
-			v.refs[o] = fr
+			refs[o] = fr
 			res.Searched = true
 			c.SetSearches++
 			ref = fr
@@ -60,10 +99,9 @@ func (c *Cache) Fetch(endIP isa.Addr, variantID uint32, length int, dynRseq []is
 		res.Banks |= 1 << uint(ref.bank)
 	}
 	c.tick++
-	set := c.setOf(endIP)
 	for o := 0; o < orders; o++ {
-		ref := v.refs[o]
-		c.lineAt(set, int(ref.bank), int(ref.way)).stamp = c.stampFor(o)
+		ref := refs[o]
+		c.lineHdrs[c.lineIndex(set, int(ref.bank), int(ref.way))].stamp = c.stampFor(o)
 	}
 	return res
 }
@@ -72,16 +110,23 @@ func (c *Cache) Fetch(endIP isa.Addr, variantID uint32, length int, dynRseq []is
 // end) with dynRseq[:length]; used by the fill unit to recognise that a
 // freshly built XB is already resident.
 func (c *Cache) Locate(endIP isa.Addr, dynRseq []isa.UopID, length int) (uint32, bool) {
-	e := c.entries[endIP]
-	if e == nil {
-		return 0, false
-	}
-	for _, v := range e.variants {
-		if len(v.rseq) >= length && commonReversePrefix(v.rseq, dynRseq[:length]) == length {
-			return v.id, true
+	p := c.LocatePtr(endIP, dynRseq, length)
+	return p.Variant, p.Valid
+}
+
+// LocatePtr is Locate returning a full XBTB pointer to the found variant,
+// with the direct reference filled in so later FetchPtr/NoteConflictPtr
+// calls skip the index lookup. On a miss the pointer is invalid but still
+// carries the identity (EndIP, Offset) the frontend records.
+func (c *Cache) LocatePtr(endIP isa.Addr, dynRseq []isa.UopID, length int) Ptr {
+	if ei := c.entryOf(endIP); ei >= 0 {
+		for vi := c.entries[ei].head; vi >= 0; vi = c.variants[vi].next {
+			if int(c.variants[vi].rlen) >= length && commonReversePrefix(c.vrseq(vi), dynRseq[:length]) == length {
+				return Ptr{EndIP: endIP, Variant: c.variants[vi].id, Offset: int32(length), Valid: true, vref: vi + 1}
+			}
 		}
 	}
-	return 0, false
+	return Ptr{EndIP: endIP, Offset: int32(length)}
 }
 
 // NoteConflict records a bank-conflict deferral against the variant and,
@@ -89,38 +134,52 @@ func (c *Cache) Locate(endIP isa.Addr, dynRseq []isa.UopID, length int) (uint32,
 // moves one conflicting chunk into a free bank. conflictBanks are the
 // banks contended for. Returns whether a re-placement happened.
 func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, conflictBanks uint) bool {
-	e := c.entries[endIP]
-	if e == nil {
+	ei := c.entryOf(endIP)
+	if ei < 0 {
 		return false
 	}
-	v := e.variantByID(variantID)
-	if v == nil {
+	vi := c.variantByID(ei, variantID)
+	if vi < 0 {
 		return false
 	}
-	v.conflicts++
+	return c.noteConflictVariant(vi, endIP, length, conflictBanks)
+}
+
+// NoteConflictPtr is NoteConflict through an XBTB pointer, using its
+// direct reference when live.
+func (c *Cache) NoteConflictPtr(p Ptr, length int, conflictBanks uint) bool {
+	if vi := c.resolveRef(p); vi >= 0 {
+		return c.noteConflictVariant(vi, p.EndIP, length, conflictBanks)
+	}
+	return c.NoteConflict(p.EndIP, p.Variant, length, conflictBanks)
+}
+
+func (c *Cache) noteConflictVariant(vi int32, endIP isa.Addr, length int, conflictBanks uint) bool {
+	c.variants[vi].conflicts++
 	const threshold = 4
-	if !c.cfg.DynamicPlacement || v.conflicts < threshold {
+	if !c.cfg.DynamicPlacement || c.variants[vi].conflicts < threshold {
 		return false
 	}
-	v.conflicts = 0
+	c.variants[vi].conflicts = 0
 	set := c.setOf(endIP)
-	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
-	if orders > len(v.refs) {
-		orders = len(v.refs)
+	orders := c.ordersOf(length)
+	refs := c.vrefs(vi)
+	if orders > len(refs) {
+		orders = len(refs)
 	}
 	// Banks currently used by this variant's resident chunks — over ALL
 	// orders, not just the conflicting fetch's entry depth: moving a line
 	// into a bank holding a higher-order chunk would leave the variant
 	// unfetchable in one cycle (two chunks in one bank).
-	used := c.residentBanksFrom(set, endIP, v, 0)
+	used := c.residentBanksFrom(set, endIP, vi, 0)
 	for o := 0; o < orders; o++ {
-		ref := v.refs[o]
+		ref := refs[o]
 		if ref.bank < 0 || conflictBanks&(1<<uint(ref.bank)) == 0 {
 			continue
 		}
-		chunk := v.chunk(o, c.cfg.BankUops)
-		src := c.lineAt(set, int(ref.bank), int(ref.way))
-		if !src.matches(endIP, o, chunk) {
+		chunk := c.chunk(vi, o)
+		si := c.lineIndex(set, int(ref.bank), int(ref.way))
+		if !c.lineMatches(si, endIP, o, chunk) {
 			continue
 		}
 		// Switch the conflicting line with a line in a non-contended bank
@@ -132,15 +191,15 @@ func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, confl
 			continue // nowhere to go
 		}
 		dstRef := c.pickVictim(set, forbidden, 0)
-		dst := c.lineAt(set, int(dstRef.bank), int(dstRef.way))
+		di := c.lineIndex(set, int(dstRef.bank), int(dstRef.way))
 		// Only switch if the displaced line is colder than the moving one
 		// ("only if its LRU is higher, or if both gain").
-		if dst.valid && dst.stamp > src.stamp {
+		if c.lineHdrs[di].meta&lineValid != 0 && c.lineHdrs[di].stamp > c.lineHdrs[si].stamp {
 			continue
 		}
-		*src, *dst = *dst, *src
+		c.swapLines(si, di)
 		used = used&^(1<<uint(ref.bank)) | 1<<uint(dstRef.bank)
-		v.refs[o] = dstRef
+		refs[o] = dstRef
 		c.Replacements++
 		return true
 	}
@@ -148,27 +207,34 @@ func (c *Cache) NoteConflict(endIP isa.Addr, variantID uint32, length int, confl
 }
 
 // Redundancy returns the average number of resident copies per distinct
-// uop — the metric the XBC is designed to drive to 1.0. The copy counts
-// accumulate into a scratch map owned by the cache (cleared, never
-// reallocated), so repeated calls do not allocate once the map is warm.
+// uop — the metric the XBC is designed to drive to 1.0. Resident uops are
+// gathered into a scratch buffer owned by the cache (lazily sized to the
+// data array, never reallocated) and sorted, so distinct-counting needs no
+// per-call map.
 func (c *Cache) Redundancy() float64 {
-	copies := c.copiesScratch
-	clear(copies)
-	total := 0
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
+	if c.redScratch == nil {
+		c.redScratch = make([]isa.UopID, 0, len(c.lineUops))
+	}
+	buf := c.redScratch[:0]
+	for li := range c.lineHdrs {
+		meta := c.lineHdrs[li].meta
+		if meta&lineValid == 0 {
 			continue
 		}
-		for k := 0; k < int(ln.count); k++ {
-			copies[ln.uops[k]]++
-			total++
-		}
+		off := li * c.cfg.BankUops
+		buf = append(buf, c.lineUops[off:off+int(meta&lineCountMask)]...)
 	}
-	if len(copies) == 0 {
+	if len(buf) == 0 {
 		return 0
 	}
-	return float64(total) / float64(len(copies))
+	slices.Sort(buf)
+	distinct := 1
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != buf[i-1] {
+			distinct++
+		}
+	}
+	return float64(len(buf)) / float64(distinct)
 }
 
 // Fragmentation returns the fraction of uop slots in valid lines left
@@ -185,47 +251,53 @@ func (c *Cache) Fragmentation() float64 {
 // Utilization returns the fraction of all uop slots (valid or not)
 // currently holding uops; O(1) like Fragmentation.
 func (c *Cache) Utilization() float64 {
-	return float64(c.usedSlots) / float64(len(c.lines)*c.cfg.BankUops)
+	return float64(c.usedSlots) / float64(len(c.lineUops))
 }
 
 // CheckInvariants validates internal consistency; tests call it after
 // randomized workloads. It verifies line field ranges and that every
 // variant's resident chunks sit in mutually distinct banks.
 func (c *Cache) CheckInvariants() error {
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
+	for li := range c.lineHdrs {
+		meta := c.lineHdrs[li].meta
+		if meta&lineValid == 0 {
 			continue
 		}
-		if ln.count == 0 || int(ln.count) > c.cfg.BankUops {
-			return fmt.Errorf("xbcore: line %d holds %d uops", i, ln.count)
+		count := int(meta & lineCountMask)
+		order := int(meta >> lineOrderShift & 0x7fff)
+		if count == 0 || count > c.cfg.BankUops {
+			return fmt.Errorf("xbcore: line %d holds %d uops", li, count)
 		}
-		if int(ln.order) >= c.cfg.MaxOrders() {
-			return fmt.Errorf("xbcore: line %d has order %d", i, ln.order)
+		if order >= c.maxOrders {
+			return fmt.Errorf("xbcore: line %d has order %d", li, order)
 		}
 	}
 	// Walk entries in address order so the first violation reported is the
-	// same on every run (map iteration order would make failures flaky).
-	ips := make([]isa.Addr, 0, len(c.entries))
-	//xbc:ignore nondeterm key collection; sorted before use
-	for endIP := range c.entries {
-		ips = append(ips, endIP)
+	// same on every run. The entry pool is append-only in insertion order,
+	// so collecting from it is already deterministic; the scratch slice is
+	// kept on the cache so repeated invariant walks do not allocate.
+	ips := c.ipsScratch[:0]
+	for i := range c.entries {
+		ips = append(ips, c.entries[i].endIP)
 	}
-	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	c.ipsScratch = ips
+	slices.Sort(ips)
 	for _, endIP := range ips {
-		e := c.entries[endIP]
+		ei := c.entryOf(endIP)
 		set := c.setOf(endIP)
-		for _, v := range e.variants {
-			if len(v.rseq) > c.cfg.Quota {
-				return fmt.Errorf("xbcore: variant of %#x has %d uops", endIP, len(v.rseq))
+		for vi := c.entries[ei].head; vi >= 0; vi = c.variants[vi].next {
+			rlen := int(c.variants[vi].rlen)
+			if rlen > c.quota {
+				return fmt.Errorf("xbcore: variant of %#x has %d uops", endIP, rlen)
 			}
+			refs := c.vrefs(vi)
 			banks := uint(0)
-			for o := 0; o < v.orders(c.cfg.BankUops) && o < len(v.refs); o++ {
-				ref := v.refs[o]
+			for o := 0; o < c.ordersOf(rlen) && o < len(refs); o++ {
+				ref := refs[o]
 				if ref.bank < 0 {
 					continue
 				}
-				if !c.lineAt(set, int(ref.bank), int(ref.way)).matches(endIP, o, v.chunk(o, c.cfg.BankUops)) {
+				if !c.lineMatches(c.lineIndex(set, int(ref.bank), int(ref.way)), endIP, o, c.chunk(vi, o)) {
 					continue // stale ref: legal, repaired lazily
 				}
 				if banks&(1<<uint(ref.bank)) != 0 {

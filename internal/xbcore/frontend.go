@@ -157,9 +157,15 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 		return st.xbtb.PromotedDir(ip)
 	}
 
-	// cur is the per-run cut scratch: its rseq/inner buffers are reused
-	// across iterations, so the committed-block loop does not allocate.
-	var cur dynXB
+	// cur is the per-run cut scratch: its rseq/inner buffers are sized to
+	// the quota up front and reused across iterations, so the
+	// committed-block loop does not allocate — not even on its first
+	// blocks. (inner holds at most one observation per uop, so quota
+	// capacity covers the worst case.)
+	cur := dynXB{
+		rseq:  make([]isa.UopID, 0, f.cfg.Quota),
+		inner: make([]promObs, 0, f.cfg.Quota),
+	}
 	i := 0
 	//xbc:hot
 	for i < len(recs) {
@@ -170,10 +176,10 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 
 		// Resolve how fetch reached cur: predict the previous XB's ending
 		// branch and obtain the pointer along the committed path.
-		follow := f.resolvePrev(st, cur, &m)
+		follow := f.resolvePrev(st, &cur, &m)
 
 		if st.delivery {
-			if !f.deliverXB(st, cur, follow, &m) {
+			if !f.deliverXB(st, &cur, follow, &m) {
 				st.delivery = false
 				m.ModeSwitches++
 				m.StructMisses++
@@ -181,16 +187,16 @@ func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
 				// Falling out of delivery redirects fetch into the IC
 				// path (section 3.5's switch to build mode).
 				m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
-				f.buildXB(st, recs, cur, &m)
+				f.buildXB(st, recs, &cur, &m)
 			}
 		} else {
-			f.buildXB(st, recs, cur, &m)
+			f.buildXB(st, recs, &cur, &m)
 		}
 
 		// Wire pointers from the previous XB to cur and roll the context.
-		f.commit(st, cur, &m)
+		f.commit(st, &cur, &m)
 		if chk != nil {
-			if err := chk.afterCommit(cur, st.prevEntry); err != nil {
+			if err := chk.afterCommit(&cur, st.prevEntry); err != nil {
 				m.Finalize(f.fecfg)
 				return m, err
 			}
@@ -243,9 +249,8 @@ func (f *Frontend) charge(st *runState, m *frontend.Metrics, c int) {
 
 // oracleFollow models the oracle limit where the fetch engine always
 // knows the successor's location if the block is resident at all.
-func (f *Frontend) oracleFollow(st *runState, cur dynXB) Ptr {
-	v, ok := st.cache.Locate(cur.endIP, cur.rseq, cur.uops)
-	return Ptr{EndIP: cur.endIP, Variant: v, Offset: cur.uops, Valid: ok}
+func (f *Frontend) oracleFollow(st *runState, cur *dynXB) Ptr {
+	return st.cache.LocatePtr(cur.endIP, cur.rseq, cur.uops)
 }
 
 // resolvePrev predicts the previous XB's ending transfer, charges
@@ -253,7 +258,7 @@ func (f *Frontend) oracleFollow(st *runState, cur dynXB) Ptr {
 // committed path toward cur (invalid = XBTB miss / misfetch).
 //
 //xbc:hot
-func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr {
+func (f *Frontend) resolvePrev(st *runState, cur *dynXB, m *frontend.Metrics) Ptr {
 	if st.prevEntry == nil {
 		return Ptr{}
 	}
@@ -352,7 +357,7 @@ func (f *Frontend) resolvePrev(st *runState, cur dynXB, m *frontend.Metrics) Ptr
 // deliverXB tries to supply cur from the XBC; returns false on any miss
 // (caller switches to build mode).
 //xbc:hot
-func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Metrics) bool {
+func (f *Frontend) deliverXB(st *runState, cur *dynXB, follow Ptr, m *frontend.Metrics) bool {
 	if !follow.Valid {
 		st.reason = abandonPtrInvalid + abandonReason(st.prevClass)
 		return false
@@ -362,12 +367,12 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 		// into a combined XB, its XBTB entry forwards us there with a
 		// one-cycle penalty instead of a build switch (section 3.8).
 		if e0, ok := st.xbtb.Lookup(follow.EndIP); ok && e0.Promoted && e0.PromotedTo.Valid &&
-			e0.PromotedTo.EndIP == cur.endIP && follow.Offset+e0.PromotedTo.Offset == cur.uops {
-			res := st.cache.Fetch(cur.endIP, e0.PromotedTo.Variant, cur.uops, cur.rseq)
+			e0.PromotedTo.EndIP == cur.endIP && int(follow.Offset)+int(e0.PromotedTo.Offset) == cur.uops {
+			res := st.cache.FetchPtr(e0.PromotedTo, cur.uops, cur.rseq)
 			if res.OK {
 				m.PenaltyCycles++
 				m.DeliveryPenalty++
-				f.packFetch(st, cur, e0.PromotedTo.Variant, res.Banks, m)
+				f.packFetch(st, cur, e0.PromotedTo, res.Banks, m)
 				m.Insts += uint64(cur.end - cur.start)
 				m.Uops += uint64(cur.uops)
 				m.DeliveredUops += uint64(cur.uops)
@@ -378,7 +383,7 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 		st.reason = abandonPtrStale + abandonReason(st.prevClass)
 		return false
 	}
-	res := st.cache.Fetch(cur.endIP, follow.Variant, cur.uops, cur.rseq)
+	res := st.cache.FetchPtr(follow, cur.uops, cur.rseq)
 	if !res.OK {
 		st.reason = abandonXBCMiss
 		return false
@@ -388,7 +393,7 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 		m.PenaltyCycles++
 		m.DeliveryPenalty++
 	}
-	f.packFetch(st, cur, follow.Variant, res.Banks, m)
+	f.packFetch(st, cur, follow, res.Banks, m)
 	m.Insts += uint64(cur.end - cur.start)
 	m.Uops += uint64(cur.uops)
 	m.DeliveredUops += uint64(cur.uops)
@@ -400,7 +405,7 @@ func (f *Frontend) deliverXB(st *runState, cur dynXB, follow Ptr, m *frontend.Me
 // 16-uop fetch width. Conflicting blocks are deferred to the next cycle
 // and feed the dynamic-placement counters (section 3.10).
 //xbc:hot
-func (f *Frontend) packFetch(st *runState, cur dynXB, variant uint32, banks uint, m *frontend.Metrics) {
+func (f *Frontend) packFetch(st *runState, cur *dynXB, p Ptr, banks uint, m *frontend.Metrics) {
 	fetchWidth := f.cfg.Banks * f.cfg.BankUops
 	if f.cfg.XBsPerCycle <= 1 {
 		m.DeliveryFetches++
@@ -419,7 +424,7 @@ func (f *Frontend) packFetch(st *runState, cur dynXB, variant uint32, banks uint
 	}
 	if st.cycleXBs >= 1 && conflict {
 		st.bankConflicts++
-		st.cache.NoteConflict(cur.endIP, variant, cur.uops, st.cycleBanks&banks)
+		st.cache.NoteConflictPtr(p, cur.uops, st.cycleBanks&banks)
 	}
 	// Start a new fetch cycle with cur.
 	m.DeliveryFetches++
@@ -430,7 +435,7 @@ func (f *Frontend) packFetch(st *runState, cur dynXB, variant uint32, banks uint
 
 // buildXB supplies cur through the IC path while the XFU assembles and
 // stores it, then wires the mode-switch condition.
-func (f *Frontend) buildXB(st *runState, recs []trace.Rec, cur dynXB, m *frontend.Metrics) {
+func (f *Frontend) buildXB(st *runState, recs []trace.Rec, cur *dynXB, m *frontend.Metrics) {
 	// Decode groups cover exactly this XB's records.
 	for j := cur.start; j < cur.end; {
 		g := st.path.FetchGroup(recs[:cur.end], j)
@@ -462,10 +467,9 @@ func (f *Frontend) buildXB(st *runState, recs []trace.Rec, cur dynXB, m *fronten
 // trains promotion counters, and maintains the XRSB and its learning
 // shadow stack.
 //xbc:hot
-func (f *Frontend) commit(st *runState, cur dynXB, m *frontend.Metrics) {
+func (f *Frontend) commit(st *runState, cur *dynXB, m *frontend.Metrics) {
 	e := st.xbtb.Ensure(cur.endIP, cur.class)
-	variant, ok := st.cache.Locate(cur.endIP, cur.rseq, cur.uops)
-	curPtr := Ptr{EndIP: cur.endIP, Variant: variant, Offset: cur.uops, Valid: ok}
+	curPtr := st.cache.LocatePtr(cur.endIP, cur.rseq, cur.uops)
 
 	if st.nxb != nil && st.prevEntry != nil && curPtr.Valid {
 		st.nxb.Update(st.prevIP, curPtr)
@@ -512,7 +516,7 @@ func (f *Frontend) commit(st *runState, cur dynXB, m *frontend.Metrics) {
 			// Record where the combined block lives and the tail length
 			// past this branch, so stale pointers to the old block can
 			// redirect regardless of their entry point (section 3.8).
-			pe.PromotedTo = Ptr{EndIP: curPtr.EndIP, Variant: curPtr.Variant, Offset: cur.uops - obs.cum, Valid: true}
+			pe.PromotedTo = Ptr{EndIP: curPtr.EndIP, Variant: curPtr.Variant, Offset: int32(cur.uops - obs.cum), Valid: true, vref: curPtr.vref}
 		}
 	}
 

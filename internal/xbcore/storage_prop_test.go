@@ -1,0 +1,677 @@
+package xbcore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xbc/internal/isa"
+)
+
+// This file pins the arrayed, arena-backed Cache to a reference model:
+// the original map-of-pointers storage implementation, kept here verbatim
+// as oracleCache. Randomized insert/evict/extend/fetch/conflict sequences
+// are driven through both; every return value, statistic counter, and
+// derived metric must be identical. The oracle is deliberately the slow,
+// obvious implementation — pointer-chasing maps and per-line slices — so
+// a divergence always indicts the optimized layout, not the model.
+
+// oracleLine is one physical bank line of the reference model.
+type oracleLine struct {
+	valid bool
+	endIP isa.Addr
+	order uint8
+	count uint8
+	uops  []isa.UopID // count uops in reverse order; capacity = BankUops
+	stamp uint64
+}
+
+func (l *oracleLine) matches(endIP isa.Addr, order int, chunk []isa.UopID) bool {
+	if !l.valid || l.endIP != endIP || int(l.order) != order || int(l.count) != len(chunk) {
+		return false
+	}
+	for i, u := range chunk {
+		if l.uops[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// oracleVariant is one logical XB of the reference model.
+type oracleVariant struct {
+	id        uint32
+	rseq      []isa.UopID // uops from the end (reverse program order)
+	refs      []lineRef   // per order, the believed line location
+	conflicts int         // dynamic-placement pressure counter
+}
+
+func (v *oracleVariant) orders(bankUops int) int {
+	return (len(v.rseq) + bankUops - 1) / bankUops
+}
+
+func (v *oracleVariant) chunk(order, bankUops int) []isa.UopID {
+	lo := order * bankUops
+	hi := lo + bankUops
+	if hi > len(v.rseq) {
+		hi = len(v.rseq)
+	}
+	return v.rseq[lo:hi]
+}
+
+// oracleEntry groups the variants sharing one ending address.
+type oracleEntry struct {
+	endIP    isa.Addr
+	variants []*oracleVariant
+	nextID   uint32
+}
+
+func (e *oracleEntry) variantByID(id uint32) *oracleVariant {
+	for _, v := range e.variants {
+		if v.id == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// oracleCache is the reference XBC storage: the pre-arena implementation.
+type oracleCache struct {
+	cfg     Config
+	lines   []oracleLine // sets * banks * ways
+	entries map[isa.Addr]*oracleEntry
+	tick    uint64
+
+	validLines int
+	usedSlots  int
+
+	residentScratch []bool
+
+	// Statistics, named exactly as on Cache so the driver can compare.
+	Allocs       uint64
+	Evictions    uint64
+	Shares       uint64
+	SetSearches  uint64
+	ComplexXBs   uint64
+	Extensions   uint64
+	Containments uint64
+	Replacements uint64
+}
+
+func newOracleCache(cfg Config) (*oracleCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets * cfg.Banks * cfg.Ways
+	c := &oracleCache{
+		cfg:             cfg,
+		lines:           make([]oracleLine, n),
+		entries:         make(map[isa.Addr]*oracleEntry),
+		residentScratch: make([]bool, cfg.MaxOrders()),
+	}
+	backing := make([]isa.UopID, n*cfg.BankUops)
+	for i := range c.lines {
+		c.lines[i].uops = backing[i*cfg.BankUops : i*cfg.BankUops : (i+1)*cfg.BankUops]
+	}
+	return c, nil
+}
+
+func (c *oracleCache) setOf(endIP isa.Addr) int {
+	return int(uint64(endIP>>1) & uint64(c.cfg.Sets-1))
+}
+
+func (c *oracleCache) lineAt(set, bank, way int) *oracleLine {
+	return &c.lines[(set*c.cfg.Banks+bank)*c.cfg.Ways+way]
+}
+
+func (c *oracleCache) stampFor(order int) uint64 {
+	return c.tick<<3 + uint64(7-order)
+}
+
+func (c *oracleCache) findLine(set int, endIP isa.Addr, order int, chunk []isa.UopID, excludeBanks uint) (lineRef, bool) {
+	for b := 0; b < c.cfg.Banks; b++ {
+		if excludeBanks&(1<<uint(b)) != 0 {
+			continue
+		}
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.lineAt(set, b, w).matches(endIP, order, chunk) {
+				return lineRef{bank: int8(b), way: int8(w)}, true
+			}
+		}
+	}
+	return lineRef{}, false
+}
+
+func (c *oracleCache) ensureChunk(set int, endIP isa.Addr, order int, chunk []isa.UopID, usedBanks, avoidBanks uint, share bool) (lineRef, uint) {
+	if ref, ok := c.findLine(set, endIP, order, chunk, usedBanks); ok && share {
+		c.Shares++
+		return ref, usedBanks | 1<<uint(ref.bank)
+	}
+	ref := c.pickVictim(set, usedBanks, avoidBanks)
+	ln := c.lineAt(set, int(ref.bank), int(ref.way))
+	if ln.valid {
+		c.Evictions++
+		c.usedSlots -= int(ln.count)
+	} else {
+		c.validLines++
+	}
+	c.usedSlots += len(chunk)
+	c.Allocs++
+	c.tick++
+	buf := append(ln.uops[:0], chunk...)
+	*ln = oracleLine{valid: true, endIP: endIP, order: uint8(order), count: uint8(len(chunk)), stamp: c.stampFor(order), uops: buf}
+	return ref, usedBanks | 1<<uint(ref.bank)
+}
+
+func (c *oracleCache) pickVictim(set int, usedBanks, avoidBanks uint) lineRef {
+	best := lineRef{bank: -1}
+	bestScore := ^uint64(0)
+	considered := false
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < c.cfg.Banks; b++ {
+			if usedBanks&(1<<uint(b)) != 0 {
+				continue
+			}
+			if c.cfg.SmartPlacement && pass == 0 && avoidBanks&(1<<uint(b)) != 0 {
+				continue
+			}
+			for w := 0; w < c.cfg.Ways; w++ {
+				ln := c.lineAt(set, b, w)
+				score := ln.stamp
+				if !ln.valid {
+					score = 0
+				}
+				if !considered || score < bestScore {
+					best = lineRef{bank: int8(b), way: int8(w)}
+					bestScore = score
+					considered = true
+				}
+			}
+		}
+		if considered || !c.cfg.SmartPlacement {
+			break
+		}
+	}
+	if best.bank < 0 {
+		panic("xbcore: no bank available for placement")
+	}
+	return best
+}
+
+func (c *oracleCache) residentBanksFrom(set int, endIP isa.Addr, v *oracleVariant, fromOrder int) uint {
+	banks := uint(0)
+	for o := fromOrder; o < v.orders(c.cfg.BankUops) && o < len(v.refs); o++ {
+		ref := v.refs[o]
+		if ref.bank < 0 {
+			continue
+		}
+		if c.lineAt(set, int(ref.bank), int(ref.way)).matches(endIP, o, v.chunk(o, c.cfg.BankUops)) {
+			banks |= 1 << uint(ref.bank)
+		}
+	}
+	return banks
+}
+
+func (c *oracleCache) Insert(endIP isa.Addr, rseq []isa.UopID, avoidBanks uint) (id uint32, kind InsertKind, wasResident bool) {
+	if len(rseq) == 0 || len(rseq) > c.cfg.Quota {
+		panic("xbcore: insert of empty or over-quota XB")
+	}
+	set := c.setOf(endIP)
+	e := c.entries[endIP]
+	if e == nil {
+		e = &oracleEntry{endIP: endIP}
+		c.entries[endIP] = e
+	}
+
+	var bestV *oracleVariant
+	bestCommon := 0
+	for _, v := range e.variants {
+		common := commonReversePrefix(rseq, v.rseq)
+		if common > bestCommon || (bestV == nil && common > 0) {
+			bestV, bestCommon = v, common
+		}
+	}
+
+	switch {
+	case bestV != nil && bestCommon == len(rseq) && len(bestV.rseq) >= len(rseq):
+		c.Containments++
+		resident := c.materialize(set, e, bestV, len(rseq), avoidBanks, true)
+		return bestV.id, InsertContained, resident
+	case bestV != nil && bestCommon == len(bestV.rseq):
+		c.Extensions++
+		bestV.rseq = append(bestV.rseq[:0], rseq...)
+		c.materialize(set, e, bestV, len(rseq), avoidBanks, true)
+		return bestV.id, InsertExtended, false
+	case bestV != nil && bestCommon > 0 && c.cfg.ComplexXB:
+		c.ComplexXBs++
+		v := c.newVariant(e, rseq)
+		c.materialize(set, e, v, len(rseq), avoidBanks, true)
+		return v.id, InsertComplex, false
+	default:
+		v := c.newVariant(e, rseq)
+		c.materialize(set, e, v, len(rseq), avoidBanks, c.cfg.ComplexXB)
+		return v.id, InsertNew, false
+	}
+}
+
+func (c *oracleCache) newVariant(e *oracleEntry, rseq []isa.UopID) *oracleVariant {
+	v := &oracleVariant{
+		id:   e.nextID,
+		rseq: append(make([]isa.UopID, 0, c.cfg.Quota), rseq...),
+		refs: make([]lineRef, 0, c.cfg.MaxOrders()),
+	}
+	e.nextID++
+	e.variants = append(e.variants, v)
+	return v
+}
+
+func (c *oracleCache) materialize(set int, e *oracleEntry, v *oracleVariant, upTo int, avoidBanks uint, share bool) bool {
+	orders := (upTo + c.cfg.BankUops - 1) / c.cfg.BankUops
+	for len(v.refs) < v.orders(c.cfg.BankUops) {
+		v.refs = append(v.refs, lineRef{bank: -1})
+	}
+	usedBanks := c.residentBanksFrom(set, e.endIP, v, orders)
+	resident := c.residentScratch[:orders]
+	for o := range resident {
+		resident[o] = false
+	}
+	allResident := true
+	for o := 0; o < orders; o++ {
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref := v.refs[o]
+		if ref.bank >= 0 && usedBanks&(1<<uint(ref.bank)) == 0 &&
+			c.lineAt(set, int(ref.bank), int(ref.way)).matches(e.endIP, o, chunk) {
+			resident[o] = true
+			usedBanks |= 1 << uint(ref.bank)
+			continue
+		}
+		if fr, ok := c.findLine(set, e.endIP, o, chunk, usedBanks); ok && share {
+			v.refs[o] = fr
+			resident[o] = true
+			usedBanks |= 1 << uint(fr.bank)
+			c.Shares++
+			continue
+		}
+		allResident = false
+	}
+	if allResident {
+		c.tick++
+		for o := 0; o < orders; o++ {
+			ref := v.refs[o]
+			c.lineAt(set, int(ref.bank), int(ref.way)).stamp = c.stampFor(o)
+		}
+		return true
+	}
+	for o := 0; o < orders; o++ {
+		if resident[o] {
+			continue
+		}
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref, nowUsed := c.ensureChunk(set, e.endIP, o, chunk, usedBanks, avoidBanks, share)
+		usedBanks = nowUsed
+		v.refs[o] = ref
+	}
+	return false
+}
+
+func (c *oracleCache) Fetch(endIP isa.Addr, variantID uint32, length int, dynRseq []isa.UopID) FetchResult {
+	e := c.entries[endIP]
+	if e == nil {
+		return FetchResult{}
+	}
+	v := e.variantByID(variantID)
+	if v == nil || len(v.rseq) < length {
+		return FetchResult{}
+	}
+	if commonReversePrefix(v.rseq, dynRseq) < length {
+		return FetchResult{}
+	}
+	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
+	res := FetchResult{OK: true}
+	pinned := c.residentBanksFrom(c.setOf(endIP), endIP, v, orders)
+	for o := 0; o < orders; o++ {
+		chunk := v.chunk(o, c.cfg.BankUops)
+		ref := v.refs[o]
+		stale := ref.bank < 0 ||
+			res.Banks&(1<<uint(ref.bank)) != 0 ||
+			!c.lineAt(c.setOf(endIP), int(ref.bank), int(ref.way)).matches(endIP, o, chunk)
+		if stale {
+			if !c.cfg.SetSearch {
+				return FetchResult{}
+			}
+			fr, ok := c.findLine(c.setOf(endIP), endIP, o, chunk, res.Banks|pinned)
+			if !ok {
+				return FetchResult{}
+			}
+			v.refs[o] = fr
+			res.Searched = true
+			c.SetSearches++
+			ref = fr
+		}
+		res.Banks |= 1 << uint(ref.bank)
+	}
+	c.tick++
+	set := c.setOf(endIP)
+	for o := 0; o < orders; o++ {
+		ref := v.refs[o]
+		c.lineAt(set, int(ref.bank), int(ref.way)).stamp = c.stampFor(o)
+	}
+	return res
+}
+
+func (c *oracleCache) Locate(endIP isa.Addr, dynRseq []isa.UopID, length int) (uint32, bool) {
+	e := c.entries[endIP]
+	if e == nil {
+		return 0, false
+	}
+	for _, v := range e.variants {
+		if len(v.rseq) >= length && commonReversePrefix(v.rseq, dynRseq[:length]) == length {
+			return v.id, true
+		}
+	}
+	return 0, false
+}
+
+func (c *oracleCache) NoteConflict(endIP isa.Addr, variantID uint32, length int, conflictBanks uint) bool {
+	e := c.entries[endIP]
+	if e == nil {
+		return false
+	}
+	v := e.variantByID(variantID)
+	if v == nil {
+		return false
+	}
+	v.conflicts++
+	const threshold = 4
+	if !c.cfg.DynamicPlacement || v.conflicts < threshold {
+		return false
+	}
+	v.conflicts = 0
+	set := c.setOf(endIP)
+	orders := (length + c.cfg.BankUops - 1) / c.cfg.BankUops
+	if orders > len(v.refs) {
+		orders = len(v.refs)
+	}
+	used := c.residentBanksFrom(set, endIP, v, 0)
+	for o := 0; o < orders; o++ {
+		ref := v.refs[o]
+		if ref.bank < 0 || conflictBanks&(1<<uint(ref.bank)) == 0 {
+			continue
+		}
+		chunk := v.chunk(o, c.cfg.BankUops)
+		src := c.lineAt(set, int(ref.bank), int(ref.way))
+		if !src.matches(endIP, o, chunk) {
+			continue
+		}
+		forbidden := (used &^ (1 << uint(ref.bank))) | conflictBanks
+		if forbidden == 1<<uint(c.cfg.Banks)-1 {
+			continue
+		}
+		dstRef := c.pickVictim(set, forbidden, 0)
+		dst := c.lineAt(set, int(dstRef.bank), int(dstRef.way))
+		if dst.valid && dst.stamp > src.stamp {
+			continue
+		}
+		*src, *dst = *dst, *src
+		used = used&^(1<<uint(ref.bank)) | 1<<uint(dstRef.bank)
+		v.refs[o] = dstRef
+		c.Replacements++
+		return true
+	}
+	return false
+}
+
+func (c *oracleCache) Redundancy() float64 {
+	copies := map[isa.UopID]int{}
+	total := 0
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		for k := 0; k < int(ln.count); k++ {
+			copies[ln.uops[k]]++
+			total++
+		}
+	}
+	if len(copies) == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(copies))
+}
+
+func (c *oracleCache) Fragmentation() float64 {
+	slots := c.validLines * c.cfg.BankUops
+	if slots == 0 {
+		return 0
+	}
+	return 1 - float64(c.usedSlots)/float64(slots)
+}
+
+func (c *oracleCache) Utilization() float64 {
+	return float64(c.usedSlots) / float64(len(c.lines)*c.cfg.BankUops)
+}
+
+func (c *oracleCache) CheckInvariants() error {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		if ln.count == 0 || int(ln.count) > c.cfg.BankUops {
+			return fmt.Errorf("xbcore: oracle line %d holds %d uops", i, ln.count)
+		}
+		if int(ln.order) >= c.cfg.MaxOrders() {
+			return fmt.Errorf("xbcore: oracle line %d has order %d", i, ln.order)
+		}
+	}
+	ips := make([]isa.Addr, 0, len(c.entries))
+	//xbc:ignore nondeterm key collection; sorted before use
+	for endIP := range c.entries {
+		ips = append(ips, endIP)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, endIP := range ips {
+		e := c.entries[endIP]
+		set := c.setOf(endIP)
+		for _, v := range e.variants {
+			if len(v.rseq) > c.cfg.Quota {
+				return fmt.Errorf("xbcore: oracle variant of %#x has %d uops", endIP, len(v.rseq))
+			}
+			banks := uint(0)
+			for o := 0; o < v.orders(c.cfg.BankUops) && o < len(v.refs); o++ {
+				ref := v.refs[o]
+				if ref.bank < 0 {
+					continue
+				}
+				if !c.lineAt(set, int(ref.bank), int(ref.way)).matches(endIP, o, v.chunk(o, c.cfg.BankUops)) {
+					continue
+				}
+				if banks&(1<<uint(ref.bank)) != 0 {
+					return fmt.Errorf("xbcore: oracle variant of %#x has two resident chunks in bank %d", endIP, ref.bank)
+				}
+				banks |= 1 << uint(ref.bank)
+			}
+		}
+	}
+	return nil
+}
+
+// --- driver ---
+
+// propRecord remembers one inserted variant so later operations can aim
+// fetches, locates, and conflict notes at real identities.
+type propRecord struct {
+	endIP isa.Addr
+	id    uint32
+	rseq  []isa.UopID
+}
+
+func checkStorageStats(t *testing.T, step int, c *Cache, o *oracleCache) {
+	t.Helper()
+	type pair struct {
+		name     string
+		got, ref uint64
+	}
+	for _, p := range []pair{
+		{"Allocs", c.Allocs, o.Allocs},
+		{"Evictions", c.Evictions, o.Evictions},
+		{"Shares", c.Shares, o.Shares},
+		{"SetSearches", c.SetSearches, o.SetSearches},
+		{"ComplexXBs", c.ComplexXBs, o.ComplexXBs},
+		{"Extensions", c.Extensions, o.Extensions},
+		{"Containments", c.Containments, o.Containments},
+		{"Replacements", c.Replacements, o.Replacements},
+	} {
+		if p.got != p.ref {
+			t.Fatalf("step %d: %s = %d, oracle %d", step, p.name, p.got, p.ref)
+		}
+	}
+	if g, r := c.Redundancy(), o.Redundancy(); g != r {
+		t.Fatalf("step %d: Redundancy = %v, oracle %v", step, g, r)
+	}
+	if g, r := c.Fragmentation(), o.Fragmentation(); g != r {
+		t.Fatalf("step %d: Fragmentation = %v, oracle %v", step, g, r)
+	}
+	if g, r := c.Utilization(), o.Utilization(); g != r {
+		t.Fatalf("step %d: Utilization = %v, oracle %v", step, g, r)
+	}
+	// The invariant checker must agree too: with ComplexXB disabled,
+	// duplicate same-content lines are legal, and a lazily-repaired stale
+	// reference can transiently alias one — the old storage reached the
+	// same states, so equivalence (not absolute cleanliness) is the
+	// property. Absolute invariant checking under realistic traffic is
+	// TestCacheInvariantsUnderRandomTraffic's job.
+	err1, err2 := c.CheckInvariants(), o.CheckInvariants()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("step %d: invariant checkers diverge: cache %v, oracle %v", step, err1, err2)
+	}
+}
+
+func runStorageProp(t *testing.T, cfg Config, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := newOracleCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small address pool forces set collisions, evictions, and complex
+	// variants; per-address base sequences make shared suffixes (and so
+	// containment/extension cases) the common case rather than a fluke.
+	addrs := make([]isa.Addr, 10)
+	base := make(map[isa.Addr][]isa.UopID)
+	for i := range addrs {
+		a := isa.Addr(0x1000 + 0x20*rng.Intn(64))
+		addrs[i] = a
+		if base[a] == nil {
+			seq := make([]isa.UopID, cfg.Quota)
+			for k := range seq {
+				seq[k] = isa.Uop(isa.Addr(0x4000+0x8*rng.Intn(256)), rng.Intn(2))
+			}
+			base[a] = seq
+		}
+	}
+	var recs []propRecord
+	bankAll := uint(1)<<uint(cfg.Banks) - 1
+
+	for step := 0; step < 800; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert: containments, extensions, complex variants
+			a := addrs[rng.Intn(len(addrs))]
+			l := 1 + rng.Intn(cfg.Quota)
+			rseq := append([]isa.UopID(nil), base[a][:l]...)
+			if l > 1 && rng.Intn(4) == 0 {
+				// Perturb a non-head uop: same reverse prefix up to the
+				// mutation, so this exercises the complex-XB case.
+				rseq[1+rng.Intn(l-1)] ^= 0x4
+			}
+			avoid := uint(rng.Intn(int(bankAll) + 1))
+			id1, k1, r1 := c.Insert(a, rseq, avoid)
+			id2, k2, r2 := o.Insert(a, rseq, avoid)
+			if id1 != id2 || k1 != k2 || r1 != r2 {
+				t.Fatalf("step %d: Insert(%#x, len %d) = (%d, %v, %v), oracle (%d, %v, %v)",
+					step, a, l, id1, k1, r1, id2, k2, r2)
+			}
+			recs = append(recs, propRecord{endIP: a, id: id1, rseq: rseq})
+		case op < 7 && len(recs) > 0: // fetch a previously inserted variant
+			r := recs[rng.Intn(len(recs))]
+			length := 1 + rng.Intn(len(r.rseq))
+			dyn := r.rseq
+			if rng.Intn(8) == 0 {
+				// Diverged dynamic path: must miss identically.
+				dyn = append([]isa.UopID(nil), r.rseq...)
+				dyn[rng.Intn(length)] ^= 0x4
+			}
+			f1 := c.Fetch(r.endIP, r.id, length, dyn)
+			f2 := o.Fetch(r.endIP, r.id, length, dyn)
+			if f1 != f2 {
+				t.Fatalf("step %d: Fetch(%#x, v%d, len %d) = %+v, oracle %+v",
+					step, r.endIP, r.id, length, f1, f2)
+			}
+		case op < 8 && len(recs) > 0: // locate by content
+			r := recs[rng.Intn(len(recs))]
+			length := 1 + rng.Intn(len(r.rseq))
+			id1, ok1 := c.Locate(r.endIP, r.rseq, length)
+			id2, ok2 := o.Locate(r.endIP, r.rseq, length)
+			if id1 != id2 || ok1 != ok2 {
+				t.Fatalf("step %d: Locate(%#x, len %d) = (%d, %v), oracle (%d, %v)",
+					step, r.endIP, length, id1, ok1, id2, ok2)
+			}
+		case op < 9 && len(recs) > 0: // bank-conflict pressure
+			r := recs[rng.Intn(len(recs))]
+			length := 1 + rng.Intn(len(r.rseq))
+			mask := uint(rng.Intn(int(bankAll) + 1))
+			m1 := c.NoteConflict(r.endIP, r.id, length, mask)
+			m2 := o.NoteConflict(r.endIP, r.id, length, mask)
+			if m1 != m2 {
+				t.Fatalf("step %d: NoteConflict(%#x, v%d, banks %#x) = %v, oracle %v",
+					step, r.endIP, r.id, mask, m1, m2)
+			}
+		default: // probe identities that may not exist
+			a := addrs[rng.Intn(len(addrs))]
+			id := uint32(rng.Intn(6))
+			length := 1 + rng.Intn(cfg.Quota)
+			f1 := c.Fetch(a, id, length, base[a])
+			f2 := o.Fetch(a, id, length, base[a])
+			if f1 != f2 {
+				t.Fatalf("step %d: probe Fetch(%#x, v%d, len %d) = %+v, oracle %+v",
+					step, a, id, length, f1, f2)
+			}
+		}
+		if step%97 == 0 {
+			checkStorageStats(t, step, c, o)
+		}
+	}
+	checkStorageStats(t, 800, c, o)
+	if err := c.CheckErr(); err != nil {
+		t.Fatalf("insert-time checks: %v", err)
+	}
+}
+
+func TestStorageMatchesMapOracle(t *testing.T) {
+	cfgs := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"checked", func(c *Config) { c.Check = true }},
+		{"no-set-search", func(c *Config) { c.SetSearch = false }},
+		{"no-complex", func(c *Config) { c.ComplexXB = false }},
+		{"no-smart-placement", func(c *Config) { c.SmartPlacement = false }},
+		{"dynamic-placement", func(c *Config) { c.DynamicPlacement = true }},
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				cfg := DefaultConfig(4 * 1024) // small: evictions happen constantly
+				tc.mod(&cfg)
+				runStorageProp(t, cfg, seed)
+			}
+		})
+	}
+}

@@ -13,16 +13,29 @@ import (
 // ending address (which defines set and tag), the variant (standing in for
 // the paper's BANK_MASK, repaired by set search), and OFFSET — how many
 // uops, counted backward from the end, the entry point is.
+// The field order and the int32 offset keep Ptr at 24 bytes: XBTB entries
+// embed three of them, so pointer size sets the table's scan stride and
+// the per-run zeroing cost.
 type Ptr struct {
 	EndIP   isa.Addr
 	Variant uint32
-	Offset  int
-	Valid   bool
+
+	// vref is the precomputed direct reference into the cache's variant
+	// pool (pool index + 1; 0 means none), the software analogue of the
+	// paper's BANK_MASK/OFFSET fields: a pointer handed out by the cache
+	// lets Fetch reach the data array without re-deriving the variant's
+	// location per fetch. Purely an accelerator — Cache.resolveRef
+	// validates it against (EndIP, Variant) and falls back to the indexed
+	// lookup, so a zero or stale reference is never wrong, only slower.
+	vref int32
+
+	Offset int32
+	Valid  bool
 }
 
 // Matches reports whether the pointer names the same dynamic XB.
 func (p Ptr) Matches(endIP isa.Addr, offset int) bool {
-	return p.Valid && p.EndIP == endIP && p.Offset == offset
+	return p.Valid && p.EndIP == endIP && int(p.Offset) == offset
 }
 
 // Entry is one XBTB record, describing the XB whose ending address is
