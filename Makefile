@@ -20,7 +20,7 @@ BENCH_OUT ?= BENCH_CURRENT.json
 # jitter.
 MAXSLOW ?= 35
 
-.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-profile experiments calibrate fuzz clean
+.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-profile experiments calibrate fuzz serve e2e clean
 
 all: check
 
@@ -85,6 +85,17 @@ calibrate:
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s
+
+# The simulation daemon on :8321 (see the README's Serving section and
+# docs/ARCHITECTURE.md). SIGTERM/Ctrl-C drains gracefully.
+serve:
+	$(GO) run ./cmd/xbcd
+
+# End-to-end smoke of the serving stack: random port, xbcctl selfcheck
+# (served metrics bit-identical to a direct run, resubmission cached),
+# concurrent loadgen, Prometheus counter checks, clean SIGTERM drain.
+e2e:
+	sh ./scripts/e2e.sh
 
 clean:
 	$(GO) clean ./...

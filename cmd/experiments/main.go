@@ -27,6 +27,7 @@ import (
 
 	"xbc"
 	"xbc/internal/prof"
+	"xbc/internal/service/jobspec"
 	"xbc/internal/stats"
 )
 
@@ -87,13 +88,9 @@ func main() {
 		opts.Journal = j
 	}
 	if *traces != "" {
-		var ws []xbc.Workload
-		for _, name := range strings.Split(*traces, ",") {
-			w, ok := xbc.WorkloadByName(strings.TrimSpace(name))
-			if !ok {
-				log.Fatalf("unknown workload %q (known: %s)", name, strings.Join(xbc.WorkloadNames(), ", "))
-			}
-			ws = append(ws, w)
+		ws, err := jobspec.ParseWorkloadList(*traces)
+		if err != nil {
+			log.Fatal(err)
 		}
 		opts.Workloads = ws
 	}

@@ -1,0 +1,431 @@
+// Command xbcctl is the client for the xbcd simulation daemon.
+//
+// Usage:
+//
+//	xbcctl submit -fe xbc -trace gcc -uops 1000000 [-wait]
+//	xbcctl get <job-id>
+//	xbcctl watch <job-id>
+//	xbcctl loadgen -conc 8 -n 200 -qps 50 -traces gcc,quake
+//	xbcctl selfcheck -fe xbc -trace straightline -uops 50000
+//
+// Every subcommand takes -addr (default http://127.0.0.1:8321). submit
+// prints the job id and status; -wait polls to the terminal state and
+// prints the full result. loadgen drives concurrent submitters at a fixed
+// rate and reports latency percentiles. selfcheck submits a spec, reruns
+// it locally through the identical execution path, and fails unless the
+// served metrics are bit-identical and a resubmission is a cache hit.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xbc/internal/interval"
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+	"xbc/internal/stats"
+)
+
+// now is the one binding of the wall clock; loadgen latencies and poll
+// deadlines are wall-time by nature.
+//
+//xbc:ignore nondeterm the client measures real wall latency; the simulator itself never sees this clock
+var now = time.Now
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbcctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "submit":
+		cmdSubmit(args)
+	case "get":
+		cmdGet(args)
+	case "watch":
+		cmdWatch(args)
+	case "loadgen":
+		cmdLoadgen(args)
+	case "selfcheck":
+		cmdSelfcheck(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xbcctl <submit|get|watch|loadgen|selfcheck> [-addr URL] [flags]")
+	os.Exit(2)
+}
+
+// addSpecFlags registers the job-spec flags shared by submit, loadgen,
+// and selfcheck, returning a builder that assembles the Spec after Parse.
+func addSpecFlags(fs *flag.FlagSet) func() jobspec.Spec {
+	var (
+		fe     = fs.String("fe", "xbc", "frontend: "+strings.Join(jobspec.Kinds(), ", "))
+		trace  = fs.String("trace", "gcc", "workload name (21 paper traces + 5 micro)")
+		uops   = fs.Uint64("uops", jobspec.DefaultUops, "dynamic uops")
+		budget = fs.Int("budget", jobspec.DefaultBudget, "cache uop budget")
+		ports  = fs.Int("ports", 0, "ic only: multi-ported fetch width")
+		check  = fs.Bool("check", false, "enable XBC invariant checking")
+		core   = fs.String("core", "", `attach an IPC estimate: "default" or issue,window,pipedepth (e.g. 8,128,5)`)
+	)
+	return func() jobspec.Spec {
+		spec := jobspec.Spec{
+			Frontend: *fe, Workload: *trace, Uops: *uops,
+			Budget: *budget, Ports: *ports, Check: *check,
+		}
+		if *core != "" {
+			c, err := parseCore(*core)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Core = &c
+		}
+		return spec
+	}
+}
+
+// parseCore reads "default" or "issue,window,pipedepth".
+func parseCore(s string) (interval.CoreConfig, error) {
+	if s == "default" {
+		return interval.DefaultCore(), nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return interval.CoreConfig{}, fmt.Errorf("-core wants \"default\" or issue,window,pipedepth, got %q", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return interval.CoreConfig{}, fmt.Errorf("-core %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return interval.CoreConfig{IssueWidth: vals[0], WindowSize: vals[1], FrontPipeDepth: vals[2]}, nil
+}
+
+// client wraps the daemon endpoint.
+type client struct{ base string }
+
+func addAddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", "http://127.0.0.1:8321", "xbcd base URL")
+}
+
+func (c client) submit(spec jobspec.Spec) (api.SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return api.SubmitResponse{}, err
+	}
+	var out api.SubmitResponse
+	err = c.postJSON("/v1/jobs", body, &out)
+	return out, err
+}
+
+func (c client) get(id string) (api.Job, error) {
+	var out api.Job
+	err := c.getJSON("/v1/jobs/"+id, &out)
+	return out, err
+}
+
+// wait polls the job until it reaches a terminal state.
+func (c client) wait(id string, poll time.Duration) (api.Job, error) {
+	for {
+		job, err := c.get(id)
+		if err != nil {
+			return api.Job{}, err
+		}
+		switch job.State {
+		case "done", "failed", "aborted":
+			return job, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+func (c client) postJSON(path string, body []byte, out any) error {
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func (c client) getJSON(path string, out any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// decodeResponse decodes a 2xx JSON body into out, or surfaces the
+// server's error payload.
+func decodeResponse(resp *http.Response, out any) error {
+	defer func() {
+		//xbc:ignore errdrop response fully read; a close failure has nothing left to lose
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 300 {
+		var e api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// printJSON renders v indented to stdout.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func cmdSubmit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	buildSpec := addSpecFlags(fs)
+	wait := fs.Bool("wait", false, "poll until the job is terminal and print the result")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	c := client{*addr}
+	sub, err := c.submit(buildSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*wait {
+		printJSON(sub)
+		return
+	}
+	job, err := c.wait(sub.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printJSON(job)
+	if job.State != "done" {
+		os.Exit(1)
+	}
+}
+
+func cmdGet(args []string) {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		log.Fatal("usage: xbcctl get [-addr URL] <job-id>")
+	}
+	job, err := client{*addr}.get(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	printJSON(job)
+}
+
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		log.Fatal("usage: xbcctl watch [-addr URL] <job-id>")
+	}
+	resp, err := http.Get(*addr + "/v1/jobs/" + fs.Arg(0) + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		//xbc:ignore errdrop stream consumed to EOF; close failure is moot
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("server returned %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e api.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			log.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		fmt.Printf("%-10s seq=%d at=%d %s\n", e.State, e.Seq, e.AtMS, e.Msg)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// cmdLoadgen drives the daemon with concurrent submitters at a fixed
+// aggregate rate and reports submit-to-terminal latency percentiles —
+// the harness the e2e smoke test and capacity checks use.
+func cmdLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	var (
+		conc   = fs.Int("conc", 8, "concurrent submitters")
+		n      = fs.Int("n", 100, "total submissions")
+		qps    = fs.Float64("qps", 0, "aggregate submissions/second (0 = as fast as possible)")
+		traces = fs.String("traces", "straightline,loopnest,callheavy", "comma-separated workload rotation")
+		fe     = fs.String("fe", "xbc", "frontend kind")
+		uops   = fs.Uint64("uops", 50_000, "dynamic uops per job")
+		budget = fs.Int("budget", 8192, "cache uop budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	ws, err := jobspec.ParseWorkloadList(*traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(ws) == 0 {
+		log.Fatal("loadgen needs at least one workload")
+	}
+	c := client{*addr}
+
+	// Tickets are issued on a central channel so the aggregate rate holds
+	// regardless of concurrency; each ticket carries the submission index
+	// (workloads rotate deterministically).
+	tickets := make(chan int)
+	go func() {
+		defer close(tickets)
+		var interval time.Duration
+		if *qps > 0 {
+			interval = time.Duration(float64(time.Second) / *qps)
+		}
+		next := now()
+		for i := 0; i < *n; i++ {
+			if interval > 0 {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+			}
+			tickets <- i
+		}
+	}()
+
+	// Latency histogram: 1ms buckets to 30s, clamped above.
+	var (
+		mu       sync.Mutex
+		hist     = stats.NewHistogram(30_000)
+		statuses = map[string]int{}
+		failures int
+	)
+	start := now()
+	var wg sync.WaitGroup
+	for g := 0; g < *conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tickets {
+				spec := jobspec.Spec{
+					Frontend: *fe, Workload: ws[i%len(ws)].Name,
+					Uops: *uops, Budget: *budget,
+				}
+				t0 := now()
+				sub, err := c.submit(spec)
+				if err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				job, err := c.wait(sub.ID, 10*time.Millisecond)
+				lat := now().Sub(t0)
+				mu.Lock()
+				if err != nil || job.State != "done" {
+					failures++
+				} else {
+					statuses[sub.Status]++
+					hist.Add(int(lat.Milliseconds()))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := now().Sub(start)
+
+	ok := hist.Total()
+	fmt.Printf("loadgen: %d submissions in %v (%.1f/s), %d ok, %d failed\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), ok, failures)
+	fmt.Printf("  status    queued=%d coalesced=%d cached=%d\n",
+		statuses[api.SubmitQueued], statuses[api.SubmitCoalesced], statuses[api.SubmitCached])
+	if ok > 0 {
+		fmt.Printf("  latency   p50=%dms p90=%dms p99=%dms mean=%.1fms\n",
+			hist.Percentile(0.50), hist.Percentile(0.90), hist.Percentile(0.99), hist.Mean())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// cmdSelfcheck is the end-to-end oracle: the served result of a spec must
+// be bit-identical to executing the same spec locally through the very
+// same jobspec path, and a resubmission must be a cache hit.
+func cmdSelfcheck(args []string) {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	buildSpec := addSpecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	spec := buildSpec()
+	c := client{*addr}
+
+	sub, err := c.submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := c.wait(sub.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if job.State != "done" || job.Metrics == nil {
+		log.Fatalf("job %s ended %s: %s", sub.ID, job.State, job.Error)
+	}
+
+	local, err := jobspec.Execute(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := json.Marshal(job.Metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := json.Marshal(local.Metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(served, direct) {
+		log.Fatalf("METRICS DIVERGE\nserved: %s\ndirect: %s", served, direct)
+	}
+
+	resub, err := c.submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resub.Status != api.SubmitCached {
+		log.Fatalf("resubmission status = %q, want cached", resub.Status)
+	}
+	fmt.Printf("selfcheck ok: job %s bit-identical to direct run; resubmission cached\n", sub.ID)
+}

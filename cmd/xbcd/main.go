@@ -1,0 +1,120 @@
+// Command xbcd is the simulation daemon: a long-running HTTP/JSON server
+// that accepts simulation jobs, coalesces identical specs, executes them
+// on a sharded worker pool with panic isolation and timeouts, caches
+// results content-addressed, and exposes Prometheus metrics.
+//
+// Usage:
+//
+//	xbcd                                # serve on :8321
+//	xbcd -addr 127.0.0.1:0 -addr-file /tmp/xbcd.addr
+//	xbcd -shards 8 -workers 2 -timeout 2m -drain-journal drained.json
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs             submit a job spec; returns id + status
+//	GET  /v1/jobs/{id}        status, metrics, IPC estimate
+//	GET  /v1/jobs/{id}/events JSON-lines lifecycle stream
+//	POST /v1/sweeps           fan a frontend x workload x budget grid out
+//	GET  /healthz             ok / draining
+//	GET  /metrics             Prometheus text format
+//
+// SIGINT/SIGTERM drains gracefully: intake stops (503), queued jobs are
+// rejected (journaled with -drain-journal), in-flight jobs finish, then
+// the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"xbc/internal/runner"
+	"xbc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbcd: ")
+	var (
+		addr     = flag.String("addr", ":8321", "listen address (host:port; port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		shards   = flag.Int("shards", 4, "queue shards (jobs are routed by content-key hash)")
+		workers  = flag.Int("workers", 1, "worker goroutines per shard")
+		queue    = flag.Int("queue", 64, "queued-job bound per shard")
+		cache    = flag.Int("cache", 256, "completed jobs retained by the result cache")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-job execution deadline (0 = unbounded)")
+		retries  = flag.Int("retries", 0, "retries per job on transient errors")
+		maxUops  = flag.Uint64("maxuops", 50_000_000, "largest stream length a job may request")
+		drainJrn = flag.String("drain-journal", "", "journal file recording jobs a drain rejects from the queue")
+	)
+	flag.Parse()
+
+	opts := service.Options{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		CacheJobs:       *cache,
+		JobTimeout:      *timeout,
+		Retries:         *retries,
+		MaxUops:         *maxUops,
+		//xbc:ignore nondeterm the daemon binds the real clock; everything below main injects it
+		Clock: time.Now,
+	}
+	if *drainJrn != "" {
+		j, err := runner.OpenJournal(*drainJrn, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				log.Printf("drain journal close: %v", err)
+			}
+		}()
+		opts.Journal = j
+	}
+	srv := service.New(opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s", bound)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := runner.NotifyContext(context.Background())
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: the listener keeps serving (healthz reports
+	// draining, submissions get 503) while queued jobs are rejected and
+	// in-flight jobs run to completion; only then does the listener stop.
+	log.Print("draining: rejecting new jobs, finishing in-flight")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("drained; bye")
+}

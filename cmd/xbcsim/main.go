@@ -19,8 +19,11 @@ import (
 	"os"
 	"sort"
 
+	"strings"
+
 	"xbc"
 	"xbc/internal/prof"
+	"xbc/internal/service/jobspec"
 )
 
 func main() {
@@ -63,10 +66,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *name != "":
-		w, ok := xbc.WorkloadByName(*name)
-		if !ok {
-			w, ok = xbc.MicroWorkloadByName(*name)
-		}
+		w, ok := jobspec.ResolveWorkload(*name)
 		if !ok {
 			log.Fatalf("unknown workload %q (21 paper workloads plus micro: straightline, loopnest, callheavy, switchheavy, monotone)", *name)
 		}
@@ -80,26 +80,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	models := map[string]func() xbc.Frontend{
-		"ic":      xbc.NewICFrontend,
-		"decoded": func() xbc.Frontend { return xbc.NewDecodedFrontend(*budget) },
-		"tc":      func() xbc.Frontend { return xbc.NewTraceCacheFrontend(*budget) },
-		"bbtc":    func() xbc.Frontend { return xbc.NewBBTCFrontend(*budget) },
-		"xbc": func() xbc.Frontend {
-			if *check {
-				return xbc.NewCheckedXBCFrontend(*budget)
-			}
-			return xbc.NewXBCFrontend(*budget)
-		},
-	}
-	order := []string{"ic", "decoded", "tc", "bbtc", "xbc"}
-
+	// Model construction goes through the same jobspec path the daemon
+	// uses, so a CLI run and a served job build byte-identical frontends.
 	run := func(key string) {
-		mk, ok := models[key]
-		if !ok {
-			log.Fatalf("unknown frontend %q", key)
+		spec := jobspec.Spec{Frontend: key, Budget: *budget, Check: *check}.Normalize()
+		model, err := spec.NewFrontend()
+		if err != nil {
+			log.Fatal(err)
 		}
-		model := mk()
 		s.Reset()
 		m, err := xbc.RunSafe(model, s)
 		if err != nil {
@@ -128,10 +116,13 @@ func main() {
 	}
 
 	if *fe == "all" {
-		for _, key := range order {
+		for _, key := range jobspec.Kinds() {
 			run(key)
 		}
 		return
+	}
+	if !jobspec.ValidKind(*fe) {
+		log.Fatalf("unknown frontend %q (want %s, or all)", *fe, strings.Join(jobspec.Kinds(), ", "))
 	}
 	run(*fe)
 }

@@ -34,6 +34,14 @@ const defaultCorpusStreams = 64
 // private instances with newCorpus.
 var sharedCorpus = newCorpus(defaultCorpusStreams)
 
+// StreamFor returns a private Stream view over the process-wide shared
+// corpus for (spec, minUops): the simulation service and the experiment
+// harness draw from one content-addressed pool, so a sweep of jobs that
+// differ only in cache configuration generates each dynamic stream once.
+func StreamFor(spec program.Spec, minUops uint64) (*trace.Stream, error) {
+	return sharedCorpus.stream(spec, minUops)
+}
+
 // corpusKey content-addresses one generated stream.
 type corpusKey struct {
 	spec [sha256.Size]byte // hash of the canonical spec encoding

@@ -22,9 +22,11 @@ import (
 // Analyzer is the errdrop check.
 var Analyzer = &lint.Analyzer{
 	Name: "errdrop",
-	Doc:  "rejects discarded error results in cmd/ and internal/runner",
+	Doc:  "rejects discarded error results in cmd/, internal/runner, and internal/service",
 	Match: func(path string) bool {
-		return strings.HasPrefix(path, "xbc/cmd/") || path == "xbc/internal/runner"
+		return strings.HasPrefix(path, "xbc/cmd/") ||
+			strings.HasPrefix(path, "xbc/internal/service") ||
+			path == "xbc/internal/runner"
 	},
 	Run: run,
 }

@@ -21,16 +21,21 @@ import (
 // the five frontends' engines, the stats toolkit, the trace layer, and
 // the commands that render metrics and reports.
 var corePackages = map[string]bool{
-	"xbc/internal/xbcore":  true,
-	"xbc/internal/tcache":  true,
-	"xbc/internal/bbtc":    true,
-	"xbc/internal/decoded": true,
-	"xbc/internal/icfe":    true,
-	"xbc/internal/stats":   true,
-	"xbc/internal/trace":   true,
-	"xbc/cmd/report":       true,
-	"xbc/cmd/xbcsim":       true,
-	"xbc/cmd/benchjson":    true,
+	"xbc/internal/xbcore":          true,
+	"xbc/internal/tcache":          true,
+	"xbc/internal/bbtc":            true,
+	"xbc/internal/decoded":         true,
+	"xbc/internal/icfe":            true,
+	"xbc/internal/stats":           true,
+	"xbc/internal/trace":           true,
+	"xbc/internal/service":         true,
+	"xbc/internal/service/api":     true,
+	"xbc/internal/service/jobspec": true,
+	"xbc/cmd/report":               true,
+	"xbc/cmd/xbcsim":               true,
+	"xbc/cmd/benchjson":            true,
+	"xbc/cmd/xbcd":                 true,
+	"xbc/cmd/xbcctl":               true,
 }
 
 // seededConstructors are the math/rand entry points that take an explicit

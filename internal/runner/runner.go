@@ -315,6 +315,39 @@ func (o Options) attempt(ctx context.Context, t Task) (any, error) {
 	}
 }
 
+// RunOne executes a single task synchronously through the same machinery
+// as Run — panic isolation, the per-attempt deadline, bounded retry, and
+// journal replay/recording — and returns its result. It is the primitive a
+// long-running job service uses per accepted job, where Run's
+// slice-in/slice-out shape does not fit.
+func RunOne(ctx context.Context, o Options, t Task) CellResult {
+	o = o.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Journal != nil {
+		if raw, ok := o.Journal.Lookup(t.Cell); ok {
+			res := CellResult{Cell: t.Cell, Status: StatusSkipped, Payload: raw}
+			if o.Report != nil {
+				o.Report.Add(res)
+			}
+			return res
+		}
+	}
+	if ctx.Err() != nil {
+		res := CellResult{Cell: t.Cell, Status: StatusAborted}
+		if o.Report != nil {
+			o.Report.Add(res)
+		}
+		return res
+	}
+	res := o.runCell(ctx, t)
+	if o.Report != nil {
+		o.Report.Add(res)
+	}
+	return res
+}
+
 // Report accumulates cell results across Run invocations. It is safe for
 // concurrent use.
 type Report struct {

@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunOneSuccess(t *testing.T) {
+	report := &Report{}
+	res := RunOne(context.Background(), Options{Report: report}, Task{
+		Cell: Cell{Figure: "job", Workload: "w"},
+		Run:  func(context.Context) (any, error) { return 42, nil },
+	})
+	if res.Status != StatusDone {
+		t.Fatalf("status = %v, want done", res.Status)
+	}
+	if res.Payload != 42 {
+		t.Fatalf("payload = %v, want 42", res.Payload)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if done, _, _, _ := report.Counts(); done != 1 {
+		t.Fatalf("report done = %d, want 1", done)
+	}
+}
+
+func TestRunOnePanicIsolation(t *testing.T) {
+	res := RunOne(context.Background(), Options{}, Task{
+		Cell: Cell{Figure: "job", Workload: "boom"},
+		Run:  func(context.Context) (any, error) { panic("hostile") },
+	})
+	if res.Status != StatusFailed {
+		t.Fatalf("status = %v, want failed", res.Status)
+	}
+	if res.Err == nil || res.Err.Stack == "" {
+		t.Fatalf("panic must surface as a CellError with a stack, got %+v", res.Err)
+	}
+}
+
+func TestRunOneRetries(t *testing.T) {
+	attempts := 0
+	res := RunOne(context.Background(), Options{Retries: 2, Backoff: 1}, Task{
+		Cell: Cell{Figure: "job", Workload: "flaky"},
+		Run: func(context.Context) (any, error) {
+			attempts++
+			if attempts < 3 {
+				return nil, errors.New("transient")
+			}
+			return "ok", nil
+		},
+	})
+	if res.Status != StatusDone || res.Attempts != 3 {
+		t.Fatalf("status=%v attempts=%d, want done after 3", res.Status, res.Attempts)
+	}
+}
+
+func TestRunOneCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunOne(ctx, Options{}, Task{
+		Cell: Cell{Figure: "job", Workload: "w"},
+		Run:  func(context.Context) (any, error) { t.Fatal("must not run"); return nil, nil },
+	})
+	if res.Status != StatusAborted {
+		t.Fatalf("status = %v, want aborted", res.Status)
+	}
+}
+
+func TestRunOneJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir+"/j.json", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Figure: "job", Workload: "w"}
+	if res := RunOne(context.Background(), Options{Journal: j}, Task{
+		Cell: cell,
+		Run:  func(context.Context) (any, error) { return map[string]int{"v": 7}, nil },
+	}); res.Status != StatusDone {
+		t.Fatalf("first run status = %v", res.Status)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir+"/j.json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	res := RunOne(context.Background(), Options{Journal: j2}, Task{
+		Cell: cell,
+		Run:  func(context.Context) (any, error) { t.Fatal("must replay, not rerun"); return nil, nil },
+	})
+	if res.Status != StatusSkipped {
+		t.Fatalf("resumed status = %v, want skipped", res.Status)
+	}
+}

@@ -1,0 +1,85 @@
+// Package api defines the JSON wire types of the xbcd simulation service.
+// The request body of POST /v1/jobs is a jobspec.Spec verbatim; everything
+// the server sends back lives here, so cmd/xbcctl and the tests decode
+// exactly what internal/service encodes.
+package api
+
+import (
+	"xbc/internal/frontend"
+	"xbc/internal/interval"
+	"xbc/internal/service/jobspec"
+)
+
+// Submit states, as reported by POST /v1/jobs.
+const (
+	// SubmitQueued: a new job was accepted and enqueued.
+	SubmitQueued = "queued"
+	// SubmitCoalesced: an identical spec is already queued or running; the
+	// submission attached to it.
+	SubmitCoalesced = "coalesced"
+	// SubmitCached: an identical spec already completed; the result is
+	// available immediately.
+	SubmitCached = "cached"
+)
+
+// SubmitResponse answers POST /v1/jobs and each entry of a sweep fan-out.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // queued, coalesced, or cached
+}
+
+// Job answers GET /v1/jobs/{id}: the spec as normalized by the server,
+// the lifecycle state, and — once terminal — the result or the error.
+type Job struct {
+	ID       string       `json:"id"`
+	State    string       `json:"state"` // queued, running, done, failed, aborted
+	Spec     jobspec.Spec `json:"spec"`
+	Error    string       `json:"error,omitempty"`
+	Attempts int          `json:"attempts,omitempty"`
+
+	// Unix-milliseconds timestamps from the server's injected clock; zero
+	// when the stage has not happened (or the clock is unset in tests).
+	SubmittedAtMS int64 `json:"submitted_at_ms,omitempty"`
+	StartedAtMS   int64 `json:"started_at_ms,omitempty"`
+	FinishedAtMS  int64 `json:"finished_at_ms,omitempty"`
+
+	Metrics  *frontend.Metrics  `json:"metrics,omitempty"`
+	Estimate *interval.Estimate `json:"estimate,omitempty"`
+}
+
+// Event is one line of the GET /v1/jobs/{id}/events JSON-lines stream:
+// a state transition with the server clock's timestamp.
+type Event struct {
+	Seq   int    `json:"seq"`
+	State string `json:"state"`
+	AtMS  int64  `json:"at_ms,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+}
+
+// SweepRequest fans a configuration grid out into frontends x workloads x
+// budgets individual jobs (POST /v1/sweeps). Empty dimensions default to
+// {xbc}, all 21 paper workloads, and {32768}.
+type SweepRequest struct {
+	Frontends []string             `json:"frontends,omitempty"`
+	Workloads []string             `json:"workloads,omitempty"`
+	Budgets   []int                `json:"budgets,omitempty"`
+	Uops      uint64               `json:"uops,omitempty"`
+	Check     bool                 `json:"check,omitempty"`
+	Core      *interval.CoreConfig `json:"core,omitempty"`
+}
+
+// SweepResponse lists the fanned-out jobs in grid order (frontends outer,
+// workloads middle, budgets inner).
+type SweepResponse struct {
+	Jobs []SubmitResponse `json:"jobs"`
+}
+
+// Health answers GET /healthz.
+type Health struct {
+	Status string `json:"status"` // "ok" or "draining"
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,69 @@
+package service
+
+import "sync"
+
+// resultCache is the LRU over completed jobs: the job registry pins
+// queued and running jobs unconditionally, and once a job reaches a
+// terminal state its retention is governed here. A repeated submission of
+// a cached spec is answered from the job itself — the cache stores whole
+// *Job records, so GET /v1/jobs/{id} and the events replay keep working
+// for as long as the result is retained.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*Job
+	order   []string // LRU order, oldest first
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, entries: make(map[string]*Job)}
+}
+
+// get returns the cached job and refreshes its recency.
+func (c *resultCache) get(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.entries[id]
+	if ok {
+		c.touchLocked(id)
+	}
+	return j, ok
+}
+
+// put inserts (or refreshes) a terminal job and returns the IDs evicted
+// past the bound, for the caller to unpin from its registry.
+func (c *resultCache) put(j *Job) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[j.ID] = j
+	c.touchLocked(j.ID)
+	var evicted []string
+	for len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+		evicted = append(evicted, old)
+	}
+	return evicted
+}
+
+// len reports the retained result count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// touchLocked moves id to the MRU end; caller holds c.mu.
+func (c *resultCache) touchLocked(id string) {
+	for i, k := range c.order {
+		if k == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, id)
+}

@@ -1,0 +1,43 @@
+package service
+
+import "testing"
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	if ev := c.put(testJob("a")); len(ev) != 0 {
+		t.Fatalf("evicted %v", ev)
+	}
+	if ev := c.put(testJob("b")); len(ev) != 0 {
+		t.Fatalf("evicted %v", ev)
+	}
+	// Touch a, then insert c: b is now the LRU victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	ev := c.put(testJob("c"))
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b still cached after eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCachePutRefreshesExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.put(testJob("a"))
+	c.put(testJob("b"))
+	c.put(testJob("a")) // refresh, not duplicate
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if ev := c.put(testJob("d")); len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xbc/internal/runner"
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+)
+
+// drainHarness builds a 1-shard/1-worker server whose executor blocks on
+// release, so the test controls exactly which job is in flight when the
+// drain begins.
+func drainHarness(t *testing.T, journal *runner.Journal) (*Server, string, chan struct{}, chan string) {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	srv, ts := newTestServer(t, Options{
+		Shards: 1, WorkersPerShard: 1, QueueDepth: 8,
+		Journal: journal,
+		Exec: func(s jobspec.Spec) (jobspec.Result, error) {
+			started <- s.Label()
+			<-release
+			return jobspec.Execute(s)
+		},
+	})
+	return srv, ts.URL, release, started
+}
+
+func TestDrainSemantics(t *testing.T) {
+	dir := t.TempDir()
+	journal, err := runner.OpenJournal(dir+"/drain.json", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base, release, started := drainHarness(t, journal)
+
+	// healthz is ok before the drain.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decodeBody[api.Health](t, resp); h.Status != "ok" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// One job in flight (the worker is blocked inside it), two queued
+	// behind it on the same single shard.
+	inflight := decodeBody[api.SubmitResponse](t, postJSON(t, base+"/v1/jobs", tinySpec()))
+	<-started // the worker has claimed it and is blocked
+	q1spec := tinySpec()
+	q1spec.Uops = 21_000
+	q2spec := tinySpec()
+	q2spec.Uops = 22_000
+	q1 := decodeBody[api.SubmitResponse](t, postJSON(t, base+"/v1/jobs", q1spec))
+	q2 := decodeBody[api.SubmitResponse](t, postJSON(t, base+"/v1/jobs", q2spec))
+	if q1.Status != api.SubmitQueued || q2.Status != api.SubmitQueued {
+		t.Fatalf("queued submits = %+v %+v", q1, q2)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
+
+	// The drain flips healthz to draining and rejects new submissions with
+	// 503 while the in-flight job is still running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		h := decodeBody[api.Health](t, resp)
+		if code == http.StatusServiceUnavailable && h.Status == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never flipped to draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rej := postJSON(t, base+"/v1/jobs", jobspec.Spec{Frontend: jobspec.KindTC, Workload: "gcc"})
+	if rej.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: %d, want 503", rej.StatusCode)
+	}
+	if e := decodeBody[api.Error](t, rej); !strings.Contains(e.Error, "draining") {
+		t.Fatalf("rejection error %q", e.Error)
+	}
+
+	// Queued jobs are aborted deterministically (and journaled) without
+	// waiting for the in-flight job.
+	for _, id := range []string{q1.ID, q2.ID} {
+		job := waitJob(t, base, id)
+		if job.State != "aborted" {
+			t.Fatalf("queued job %s = %s, want aborted", id, job.State)
+		}
+	}
+
+	// The in-flight job runs to completion once released, and the drain
+	// only returns after it has.
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a job was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	job := waitJob(t, base, inflight.ID)
+	if job.State != "done" || job.Metrics == nil {
+		t.Fatalf("in-flight job after drain = %s (%s)", job.State, job.Error)
+	}
+
+	// The journal holds exactly the two rejected specs, replayable.
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := runner.OpenJournal(dir+"/drain.json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if j2.Len() != 2 {
+		t.Fatalf("journal holds %d cells, want 2", j2.Len())
+	}
+	for _, id := range []string{q1.ID, q2.ID} {
+		if _, ok := j2.Lookup(runner.Cell{Figure: "job", Workload: "xbc/straightline", Config: id}); !ok {
+			t.Errorf("journal missing drained job %s", id)
+		}
+	}
+
+	// Drain is idempotent.
+	srv.Drain()
+}
+
+func TestDrainWithoutJournalRejectsDeterministically(t *testing.T) {
+	srv, base, release, started := drainHarness(t, nil)
+	sub := decodeBody[api.SubmitResponse](t, postJSON(t, base+"/v1/jobs", tinySpec()))
+	<-started
+	qspec := tinySpec()
+	qspec.Uops = 23_000
+	q := decodeBody[api.SubmitResponse](t, postJSON(t, base+"/v1/jobs", qspec))
+
+	go srv.Drain()
+	job := waitJob(t, base, q.ID)
+	if job.State != "aborted" {
+		t.Fatalf("queued job = %s, want aborted", job.State)
+	}
+	close(release)
+	if job := waitJob(t, base, sub.ID); job.State != "done" {
+		t.Fatalf("in-flight job = %s", job.State)
+	}
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+	"xbc/internal/workload"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs             submit one jobspec.Spec
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/events JSON-lines stream of lifecycle events
+//	POST /v1/sweeps           fan a config grid out into jobs
+//	GET  /healthz             liveness; flips to draining during drain
+//	GET  /metrics             Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON encodes v with the given status. An encode failure after the
+// header is sent cannot be reported to the client; the handler's work is
+// done either way.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}
+
+// submitStatusCode maps a Submit error to its HTTP status.
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobspec.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: "decoding spec: " + err.Error()})
+		return
+	}
+	j, status, err := s.Submit(spec)
+	if err != nil {
+		writeJSON(w, submitStatusCode(err), api.Error{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if status == api.SubmitCached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, api.SubmitResponse{ID: j.ID, Status: status})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Error: "unknown or evicted job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleEvents streams the job's lifecycle as JSON lines: the full event
+// history first, then live transitions until the job is terminal or the
+// client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Error: "unknown or evicted job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		evs, notify, terminal := j.EventsSince(idx)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return // client gone; nothing to clean up
+			}
+		}
+		idx += len(evs)
+		if canFlush {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-notify:
+		}
+	}
+}
+
+// handleSweep expands the request grid in deterministic order (frontends
+// outer, workloads middle, budgets inner) and submits every cell. The
+// whole grid is validated before anything is enqueued: one bad cell
+// rejects the sweep, so a sweep is all-or-nothing at validation time.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: "decoding sweep: " + err.Error()})
+		return
+	}
+	if len(req.Frontends) == 0 {
+		req.Frontends = []string{jobspec.KindXBC}
+	}
+	if len(req.Workloads) == 0 {
+		req.Workloads = workload.Names()
+	}
+	if len(req.Budgets) == 0 {
+		req.Budgets = []int{jobspec.DefaultBudget}
+	}
+	var specs []jobspec.Spec
+	for _, fe := range req.Frontends {
+		for _, wl := range req.Workloads {
+			for _, budget := range req.Budgets {
+				spec := jobspec.Spec{
+					Frontend: fe,
+					Workload: wl,
+					Budget:   budget,
+					Uops:     req.Uops,
+					Check:    req.Check,
+					Core:     req.Core,
+				}
+				if err := spec.Normalize().Validate(); err != nil {
+					writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+					return
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	resp := api.SweepResponse{Jobs: make([]api.SubmitResponse, 0, len(specs))}
+	for _, spec := range specs {
+		j, status, err := s.Submit(spec)
+		if err != nil {
+			// Mid-sweep failure (queue full, drain): report what was
+			// accepted so far plus the error; accepted jobs keep running.
+			writeJSON(w, submitStatusCode(err), api.Error{Error: err.Error()})
+			return
+		}
+		resp.Jobs = append(resp.Jobs, api.SubmitResponse{ID: j.ID, Status: status})
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Health{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if _, err := w.Write([]byte(s.reg.render(s.QueueDepth(), s.cache.len()))); err != nil {
+		return // client gone
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xbc/internal/stats"
+)
+
+// latencyBuckets is the per-frontend latency histogram resolution: bucket
+// i holds jobs whose wall latency in milliseconds has bit length i, i.e.
+// power-of-two bounds 0, 1, 3, 7, ... ~16s, with the last bucket catching
+// everything slower.
+const latencyBuckets = 16
+
+// metricsReg is the service's observability state, rendered as Prometheus
+// text exposition (version 0.0.4) by GET /metrics. Counters are plain
+// uint64s behind one mutex: every update is a job-granularity event, so
+// contention is irrelevant next to a simulation run.
+type metricsReg struct {
+	mu        sync.Mutex
+	submitted uint64 // POST /v1/jobs accepted (any status)
+	coalesced uint64 // submissions attached to an in-flight job
+	hits      uint64 // submissions answered from the result cache
+	misses    uint64 // submissions that created a new job
+	rejected  uint64 // submissions refused: queue full or draining
+	inflight  int64  // jobs currently executing
+	outcomes  map[string]uint64
+	latency   map[string]*latencyHist // frontend kind -> histogram
+}
+
+type latencyHist struct {
+	h     *stats.Histogram
+	sumMS float64
+}
+
+func newMetricsReg() *metricsReg {
+	return &metricsReg{
+		outcomes: make(map[string]uint64),
+		latency:  make(map[string]*latencyHist),
+	}
+}
+
+func (r *metricsReg) submit(status string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submitted++
+	switch status {
+	case "coalesced":
+		r.coalesced++
+	case "cached":
+		r.hits++
+	default:
+		r.misses++
+	}
+}
+
+func (r *metricsReg) reject() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rejected++
+}
+
+func (r *metricsReg) inflightAdd(d int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight += d
+}
+
+// outcome tallies a terminal state and, when the job ran, its latency.
+func (r *metricsReg) outcome(state string, feKind string, lat time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outcomes[state]++
+	if !ok {
+		return
+	}
+	lh := r.latency[feKind]
+	if lh == nil {
+		lh = &latencyHist{h: stats.NewHistogram(latencyBuckets)}
+		r.latency[feKind] = lh
+	}
+	ms := lat.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	lh.h.Add(bits.Len64(uint64(ms)))
+	lh.sumMS += float64(ms)
+}
+
+// hitRatio returns cache hits / (hits + misses), for tests.
+func (r *metricsReg) hitRatio() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return stats.Ratio(float64(r.hits), float64(r.hits+r.misses))
+}
+
+// render writes the Prometheus text exposition. Gauges whose truth lives
+// elsewhere (queue depth, cache entries) are sampled by the caller.
+func (r *metricsReg) render(queueDepth, cacheEntries int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xbcd_submissions_total", "job submissions accepted (queued, coalesced, or cached)", r.submitted)
+	counter("xbcd_cache_hits_total", "submissions answered from the result cache", r.hits)
+	counter("xbcd_cache_misses_total", "submissions that created a new job", r.misses)
+	counter("xbcd_jobs_coalesced_total", "submissions attached to an already queued or running job", r.coalesced)
+	counter("xbcd_jobs_rejected_total", "submissions refused because the queue was full or the server draining", r.rejected)
+	gauge("xbcd_queue_depth", "jobs queued and not yet claimed by a worker", int64(queueDepth))
+	gauge("xbcd_jobs_inflight", "jobs currently executing", r.inflight)
+	gauge("xbcd_cache_entries", "terminal jobs retained by the result cache", int64(cacheEntries))
+
+	fmt.Fprintf(&b, "# HELP xbcd_jobs_total terminal jobs by outcome\n# TYPE xbcd_jobs_total counter\n")
+	var outcomes []string
+	//xbc:ignore nondeterm key collection; sorted before rendering
+	for k := range r.outcomes {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+	for _, k := range outcomes {
+		fmt.Fprintf(&b, "xbcd_jobs_total{outcome=%q} %d\n", k, r.outcomes[k])
+	}
+
+	fmt.Fprintf(&b, "# HELP xbcd_job_latency_ms wall latency of executed jobs per frontend\n# TYPE xbcd_job_latency_ms histogram\n")
+	var kinds []string
+	//xbc:ignore nondeterm key collection; sorted before rendering
+	for k := range r.latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		lh := r.latency[k]
+		for i := 0; i < latencyBuckets-1; i++ {
+			le := uint64(1)<<uint(i) - 1
+			fmt.Fprintf(&b, "xbcd_job_latency_ms_bucket{frontend=%q,le=\"%d\"} %d\n", k, le, lh.h.CountAtMost(i))
+		}
+		fmt.Fprintf(&b, "xbcd_job_latency_ms_bucket{frontend=%q,le=\"+Inf\"} %d\n", k, lh.h.Total())
+		fmt.Fprintf(&b, "xbcd_job_latency_ms_sum{frontend=%q} %g\n", k, lh.sumMS)
+		fmt.Fprintf(&b, "xbcd_job_latency_ms_count{frontend=%q} %d\n", k, lh.h.Total())
+	}
+	return b.String()
+}

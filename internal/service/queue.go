@@ -1,0 +1,93 @@
+package service
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+)
+
+// ErrQueueFull is returned by push when the job's shard is at capacity;
+// the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("service: shard queue full")
+
+// errQueueClosed is returned by push once drain has closed intake.
+var errQueueClosed = errors.New("service: queue closed")
+
+// queue is the bounded, sharded job queue: jobs are routed to a shard by
+// the hash of their content key, so resubmissions of one spec always land
+// on the same shard (and the registry coalesces them long before the
+// queue sees a duplicate). Each shard is a bounded channel owned by that
+// shard's workers.
+type queue struct {
+	mu     sync.Mutex
+	closed bool
+	shards []chan *Job
+}
+
+func newQueue(shards, depth int) *queue {
+	q := &queue{shards: make([]chan *Job, shards)}
+	for i := range q.shards {
+		q.shards[i] = make(chan *Job, depth)
+	}
+	return q
+}
+
+// shardFor routes a content key to its shard.
+func (q *queue) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //xbc:ignore errdrop fnv Write never fails
+	return int(h.Sum32() % uint32(len(q.shards)))
+}
+
+// push enqueues the job on its shard without blocking.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	select {
+	case q.shards[q.shardFor(j.ID)] <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth reports the total queued (not yet claimed) jobs.
+func (q *queue) depth() int {
+	n := 0
+	for _, ch := range q.shards {
+		n += len(ch)
+	}
+	return n
+}
+
+// close stops intake, removes every still-queued job, closes the shard
+// channels (ending the worker loops after their in-flight jobs), and
+// returns the removed jobs for the caller to abort deterministically.
+// Jobs a worker claims concurrently with the removal are aborted by the
+// worker itself (it rechecks the drain flag after claiming), so every
+// queued-at-drain job ends aborted no matter who dequeues it.
+func (q *queue) close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var drained []*Job
+	for _, ch := range q.shards {
+		for {
+			select {
+			case j := <-ch:
+				drained = append(drained, j)
+				continue
+			default:
+			}
+			break
+		}
+		close(ch)
+	}
+	return drained
+}

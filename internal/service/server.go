@@ -1,0 +1,300 @@
+// Package service is the long-running simulation server behind cmd/xbcd:
+// a bounded job queue feeding sharded workers, a content-addressed result
+// cache, and an HTTP/JSON API with live observability.
+//
+// The lifecycle of a job:
+//
+//	POST /v1/jobs -> validate (jobspec) -> content key
+//	   key already terminal?   -> answered from the result cache ("cached")
+//	   key queued or running?  -> attached to that job ("coalesced")
+//	   otherwise               -> enqueued on key-hash shard ("queued")
+//	worker: queued -> running -> done | failed   (runner: panic isolation,
+//	        per-job timeout, bounded retry)
+//	drain:  queued -> aborted (journaled when a journal is configured)
+//
+// Determinism: simulations are bit-reproducible, so the result cache is
+// semantically transparent — a cached answer is byte-identical to a fresh
+// run of the same spec. Time enters only through the injected Clock;
+// handlers never read the wall clock themselves.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xbc/internal/runner"
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+)
+
+// Clock supplies the current time. The daemon injects time.Now; tests
+// inject a fake so job timestamps and latency histograms are
+// deterministic. A nil Clock reads as the zero time everywhere.
+type Clock func() time.Time
+
+func (c Clock) now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return c()
+}
+
+// ErrDraining is returned by Submit once a drain has begun; the HTTP
+// layer maps it to 503.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// Options configures a Server. Zero fields take the documented defaults.
+type Options struct {
+	// Shards is the number of queue shards (default 4); jobs are routed by
+	// content-key hash. WorkersPerShard (default 1) goroutines serve each.
+	Shards          int
+	WorkersPerShard int
+	// QueueDepth bounds each shard's queued-job backlog (default 64).
+	QueueDepth int
+	// CacheJobs bounds the terminal jobs the result cache retains
+	// (default 256).
+	CacheJobs int
+	// JobTimeout bounds each execution attempt (0 = unbounded); Retries is
+	// the bounded-retry budget for transient failures. Both map directly
+	// onto the runner's per-cell machinery.
+	JobTimeout time.Duration
+	Retries    int
+	// MaxUops caps the per-job stream length a submission may request
+	// (default 50M) — the one resource limit validation alone cannot set.
+	MaxUops uint64
+	// Clock stamps job lifecycle events. The daemon binds time.Now here;
+	// leaving it nil (tests) makes all timestamps zero.
+	Clock Clock
+	// Journal, when non-nil, records jobs a drain rejects from the queue,
+	// so an operator can resubmit exactly what was dropped.
+	Journal *runner.Journal
+	// Exec overrides job execution (tests). Default: jobspec.Execute.
+	Exec func(jobspec.Spec) (jobspec.Result, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.WorkersPerShard <= 0 {
+		o.WorkersPerShard = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheJobs <= 0 {
+		o.CacheJobs = 256
+	}
+	if o.MaxUops == 0 {
+		o.MaxUops = 50_000_000
+	}
+	if o.Exec == nil {
+		o.Exec = jobspec.Execute
+	}
+	return o
+}
+
+// Server is the simulation service.
+type Server struct {
+	opts  Options
+	queue *queue
+	cache *resultCache
+	reg   *metricsReg
+
+	mu   sync.Mutex
+	jobs map[string]*Job // every retained job: queued, running, and cached terminal
+
+	draining  atomic.Bool
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+}
+
+// New starts a Server: shard workers are running on return.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		queue: newQueue(opts.Shards, opts.QueueDepth),
+		cache: newResultCache(opts.CacheJobs),
+		reg:   newMetricsReg(),
+		jobs:  make(map[string]*Job),
+	}
+	for shard := 0; shard < opts.Shards; shard++ {
+		for w := 0; w < opts.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(shard)
+		}
+	}
+	return s
+}
+
+// Submit validates the spec and returns the job serving it plus the
+// submission status: api.SubmitCached (terminal result in hand),
+// api.SubmitCoalesced (identical spec already in flight), or
+// api.SubmitQueued (new job enqueued). Validation errors, ErrDraining,
+// and ErrQueueFull are the failure modes.
+func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
+	if s.draining.Load() {
+		s.reg.reject()
+		return nil, "", ErrDraining
+	}
+	n := spec.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, "", err
+	}
+	if n.Uops > s.opts.MaxUops {
+		return nil, "", fmt.Errorf("service: %d uops exceeds the per-job cap of %d", n.Uops, s.opts.MaxUops)
+	}
+	key, err := n.Key()
+	if err != nil {
+		return nil, "", err
+	}
+
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		terminal := j.State().terminal()
+		s.mu.Unlock()
+		if terminal {
+			s.cache.get(key) // refresh recency
+			s.reg.submit(api.SubmitCached)
+			return j, api.SubmitCached, nil
+		}
+		s.reg.submit(api.SubmitCoalesced)
+		return j, api.SubmitCoalesced, nil
+	}
+	j := newJob(key, n, s.opts.Clock.now())
+	s.jobs[key] = j
+	s.mu.Unlock()
+
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, key)
+		s.mu.Unlock()
+		s.reg.reject()
+		if errors.Is(err, errQueueClosed) {
+			return nil, "", ErrDraining
+		}
+		return nil, "", err
+	}
+	s.reg.submit(api.SubmitQueued)
+	return j, api.SubmitQueued, nil
+}
+
+// Get returns the job with the given content key, if retained.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops intake (Submit returns ErrDraining, /healthz flips to
+// draining), aborts every still-queued job — journaling each when a
+// journal is configured — waits for in-flight jobs to finish, and
+// returns. It is idempotent; concurrent callers all block until the first
+// drain completes.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		for _, j := range s.queue.close() {
+			s.abort(j)
+		}
+	})
+	s.wg.Wait()
+}
+
+// abort marks a queued job rejected-by-drain and journals its spec.
+func (s *Server) abort(j *Job) {
+	if s.opts.Journal != nil {
+		cell := runner.Cell{Figure: "job", Workload: j.Spec.Label(), Config: j.ID}
+		if err := s.opts.Journal.Record(cell, j.Spec); err != nil {
+			j.transition(JobAborted, s.opts.Clock.now(), "drained; journaling failed: "+err.Error())
+			s.finish(j)
+			return
+		}
+		j.transition(JobAborted, s.opts.Clock.now(), "drained; spec journaled")
+	} else {
+		j.transition(JobAborted, s.opts.Clock.now(), "drained")
+	}
+	s.finish(j)
+}
+
+// worker serves one shard until the queue closes.
+func (s *Server) worker(shard int) {
+	defer s.wg.Done()
+	for j := range s.queue.shards[shard] {
+		// A drain that began after this job was queued rejects it here, so
+		// queued-at-drain jobs abort deterministically no matter whether
+		// the drainer or a worker dequeues them.
+		if s.draining.Load() {
+			s.abort(j)
+			continue
+		}
+		s.run(j)
+	}
+}
+
+// run executes one job through the runner's isolation machinery.
+func (s *Server) run(j *Job) {
+	s.reg.inflightAdd(1)
+	defer s.reg.inflightAdd(-1)
+	j.transition(JobRunning, s.opts.Clock.now(), "")
+	res := runner.RunOne(context.Background(), runner.Options{
+		Parallel:    1,
+		CellTimeout: s.opts.JobTimeout,
+		Retries:     s.opts.Retries,
+	}, runner.Task{
+		Cell: runner.Cell{Figure: "job", Workload: j.Spec.Label(), Config: j.ID},
+		Run: func(context.Context) (any, error) {
+			r, err := s.opts.Exec(j.Spec)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	})
+	switch res.Status {
+	case runner.StatusDone:
+		r, ok := res.Payload.(jobspec.Result)
+		if !ok {
+			j.fail(fmt.Sprintf("internal: unexpected payload %T", res.Payload), res.Attempts, s.opts.Clock.now())
+			break
+		}
+		j.complete(r, res.Attempts, s.opts.Clock.now())
+	case runner.StatusFailed:
+		j.fail(res.Err.Error(), res.Attempts, s.opts.Clock.now())
+	case runner.StatusAborted:
+		j.transition(JobAborted, s.opts.Clock.now(), "execution aborted")
+	case runner.StatusSkipped:
+		// No journal is wired into the execution path, so replay cannot
+		// happen; treat it as an internal fault rather than dropping the job.
+		j.fail("internal: unexpected journal replay", res.Attempts, s.opts.Clock.now())
+	}
+	s.finish(j)
+}
+
+// finish moves a terminal job under result-cache retention and tallies
+// its outcome.
+func (s *Server) finish(j *Job) {
+	lat, ok := j.latency()
+	s.reg.outcome(j.State().String(), j.Spec.Frontend, lat, ok && j.State() == JobDone)
+	evicted := s.cache.put(j)
+	if len(evicted) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, id := range evicted {
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
+}
+
+// QueueDepth reports the queued-not-claimed job count (for /metrics).
+func (s *Server) QueueDepth() int { return s.queue.depth() }

@@ -1,0 +1,28 @@
+package stats
+
+import "testing"
+
+func TestCountAtMost(t *testing.T) {
+	h := NewHistogram(8)
+	h.Add(0)
+	h.AddN(3, 2)
+	h.Add(20) // clamped into bucket 7
+
+	cases := []struct {
+		v    int
+		want uint64
+	}{
+		{-1, 0}, {0, 1}, {2, 1}, {3, 3}, {6, 3}, {7, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := h.CountAtMost(c.v); got != c.want {
+			t.Errorf("CountAtMost(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if h.CountAtMost(h.Buckets()-1) != h.Total() {
+		t.Error("cumulative count at the last bucket must equal Total")
+	}
+	if got, want := h.Sum(), float64(0+3+3+7); got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}

@@ -55,6 +55,26 @@ func (h *Histogram) Count(v int) uint64 {
 // Total returns the number of samples recorded.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// CountAtMost returns the number of samples whose (clamped) value is <= v
+// — the cumulative shape Prometheus histogram buckets report. A negative v
+// counts nothing; v past the last bucket counts everything.
+func (h *Histogram) CountAtMost(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	var acc uint64
+	for i := 0; i <= v; i++ {
+		acc += h.buckets[i]
+	}
+	return acc
+}
+
+// Sum returns the sum of all (clamped) sample values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Buckets returns the number of buckets.
 func (h *Histogram) Buckets() int { return len(h.buckets) }
 

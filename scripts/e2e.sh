@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the serving stack: build xbcd and xbcctl, start
+# the daemon on a random port, prove a served job is bit-identical to a
+# direct local run (xbcctl selfcheck, which also asserts the second
+# submission is a cache hit), push a little concurrent load through it,
+# check the Prometheus counters, then SIGTERM and require a clean drain
+# within a bounded time. Used by `make e2e` and the CI e2e job.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+XBCD_PID=
+trap 'status=$?
+  [ -n "$XBCD_PID" ] && kill "$XBCD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+  exit $status' EXIT INT TERM
+
+echo "e2e: building xbcd and xbcctl"
+$GO build -o "$WORK/xbcd" ./cmd/xbcd
+$GO build -o "$WORK/xbcctl" ./cmd/xbcctl
+
+"$WORK/xbcd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+  -drain-journal "$WORK/drain.json" >"$WORK/xbcd.log" 2>&1 &
+XBCD_PID=$!
+
+# Wait (max ~5s) for the daemon to write its bound address.
+i=0
+while [ ! -s "$WORK/addr" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "e2e: xbcd never wrote its address; log:" >&2
+    cat "$WORK/xbcd.log" >&2
+    exit 1
+  fi
+  kill -0 "$XBCD_PID" 2>/dev/null || {
+    echo "e2e: xbcd exited early; log:" >&2
+    cat "$WORK/xbcd.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+ADDR="http://$(cat "$WORK/addr")"
+echo "e2e: xbcd (pid $XBCD_PID) at $ADDR"
+
+echo "e2e: selfcheck — served metrics must equal a direct local run"
+"$WORK/xbcctl" selfcheck -addr "$ADDR" -fe xbc -trace gcc -uops 200000 -core default
+
+echo "e2e: loadgen — 8 concurrent submitters"
+"$WORK/xbcctl" loadgen -addr "$ADDR" -conc 8 -n 24 -uops 20000
+
+echo "e2e: metrics sanity"
+METRICS=$(curl -fsS "$ADDR/metrics")
+echo "$METRICS" | grep -q '^xbcd_cache_hits_total [1-9]' || {
+  echo "e2e: expected cache hits in /metrics:" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+echo "$METRICS" | grep -q 'xbcd_jobs_total{outcome="done"}' || {
+  echo "e2e: expected completed jobs in /metrics:" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+
+echo "e2e: graceful shutdown"
+kill -TERM "$XBCD_PID"
+i=0
+while kill -0 "$XBCD_PID" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 150 ]; then
+    echo "e2e: xbcd did not drain within 15s; log:" >&2
+    cat "$WORK/xbcd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+XBCD_PID=
+grep -q 'drained; bye' "$WORK/xbcd.log" || {
+  echo "e2e: xbcd exited without completing its drain; log:" >&2
+  cat "$WORK/xbcd.log" >&2
+  exit 1
+}
+echo "e2e: ok"
