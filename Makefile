@@ -30,6 +30,8 @@ all: check
 # parser.
 check: build vet lint race bench-smoke
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 10s
+	$(GO) test ./internal/store -fuzz FuzzScanRecords -fuzztime 10s
+	$(GO) test ./internal/store -fuzz FuzzOpen -fuzztime 10s
 
 build:
 	$(GO) build ./...
@@ -85,6 +87,10 @@ calibrate:
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzScanRecords -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzReadExport -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzOpen -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzPutGet -fuzztime 30s
 
 # The simulation daemon on :8321 (see the README's Serving section and
 # docs/ARCHITECTURE.md). SIGTERM/Ctrl-C drains gracefully.

@@ -7,8 +7,12 @@
 //	xbcctl watch <job-id>
 //	xbcctl loadgen -conc 8 -n 200 -qps 50 -traces gcc,quake
 //	xbcctl selfcheck -fe xbc -trace straightline -uops 50000
+//	xbcctl cache export -dir /var/lib/xbcd -out results.xbse
+//	xbcctl cache import -dir /var/lib/xbcd -in results.xbse
 //
-// Every subcommand takes -addr (default http://127.0.0.1:8321). submit
+// Every daemon-facing subcommand takes -addr (default
+// http://127.0.0.1:8321); cache export/import operate offline on a
+// store directory (see cache.go). submit
 // prints the job id and status; -wait polls to the terminal state and
 // prints the full result. loadgen drives concurrent submitters at a fixed
 // rate and reports latency percentiles. selfcheck submits a spec, reruns
@@ -60,13 +64,15 @@ func main() {
 		cmdLoadgen(args)
 	case "selfcheck":
 		cmdSelfcheck(args)
+	case "cache":
+		cmdCache(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xbcctl <submit|get|watch|loadgen|selfcheck> [-addr URL] [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xbcctl <submit|get|watch|loadgen|selfcheck|cache> [-addr URL] [flags]")
 	os.Exit(2)
 }
 

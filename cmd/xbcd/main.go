@@ -8,6 +8,7 @@
 //	xbcd                                # serve on :8321
 //	xbcd -addr 127.0.0.1:0 -addr-file /tmp/xbcd.addr
 //	xbcd -shards 8 -workers 2 -timeout 2m -drain-journal drained.json
+//	xbcd -store /var/lib/xbcd -store-fsync always -store-max-bytes 1073741824
 //
 // API (see internal/service):
 //
@@ -19,8 +20,14 @@
 //	GET  /metrics             Prometheus text format
 //
 // SIGINT/SIGTERM drains gracefully: intake stops (503), queued jobs are
-// rejected (journaled with -drain-journal), in-flight jobs finish, then
-// the listener shuts down.
+// rejected (journaled with -drain-journal), in-flight jobs finish, the
+// store's write-behind queue flushes, then the listener shuts down.
+//
+// With -store, completed results and generated trace corpora persist
+// across restarts: a restarted daemon serves previously computed jobs as
+// cache hits without re-simulating (see internal/store). If the store
+// cannot be opened the daemon logs the reason, runs memory-only, and
+// reports "unavailable" under the store key of /healthz.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 
 	"xbc/internal/runner"
 	"xbc/internal/service"
+	"xbc/internal/store"
 )
 
 func main() {
@@ -51,6 +59,9 @@ func main() {
 		retries  = flag.Int("retries", 0, "retries per job on transient errors")
 		maxUops  = flag.Uint64("maxuops", 50_000_000, "largest stream length a job may request")
 		drainJrn = flag.String("drain-journal", "", "journal file recording jobs a drain rejects from the queue")
+		storeDir = flag.String("store", "", "directory of the persistent result/corpus store (empty = memory-only)")
+		storeFs  = flag.String("store-fsync", "interval", "store durability: always, interval, or never")
+		storeMax = flag.Int64("store-max-bytes", 0, "compact the store segment past this size, evicting oldest records (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -76,6 +87,29 @@ func main() {
 			}
 		}()
 		opts.Journal = j
+	}
+	if *storeDir != "" {
+		mode, err := store.ParseFsyncMode(*storeFs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := store.Open(store.Options{Dir: *storeDir, Fsync: mode, MaxBytes: *storeMax})
+		if err != nil {
+			// A broken disk must not keep the daemon down: serve memory-only
+			// and surface the reason on /healthz.
+			log.Printf("store %s unavailable, running memory-only: %v", *storeDir, err)
+			opts.StoreErr = err.Error()
+		} else {
+			stats := st.Stats()
+			log.Printf("store %s: %d records (%d replayed, %d quarantined)",
+				*storeDir, stats.Records, stats.Replayed, stats.Quarantined+stats.QuarantinedFiles)
+			opts.Store = st
+			defer func() {
+				if err := st.Close(); err != nil {
+					log.Printf("store close: %v", err)
+				}
+			}()
+		}
 	}
 	srv := service.New(opts)
 

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +45,23 @@ func StreamFor(spec program.Spec, minUops uint64) (*trace.Stream, error) {
 	return sharedCorpus.stream(spec, minUops)
 }
 
+// CorpusStore persists generated streams across process restarts. The
+// corpus consults it before generating (a hit skips generation entirely —
+// sound because generation is deterministic and the .xtr encoding is
+// lossless) and hands every fresh generation back for safekeeping. Save
+// is fire-and-forget: persistence failures must not fail a simulation.
+type CorpusStore interface {
+	Load(key string) ([]byte, bool)
+	Save(key string, val []byte)
+}
+
+// SetCorpusStore attaches a persistent store to the process-wide corpus.
+func SetCorpusStore(cs CorpusStore) { sharedCorpus.setStore(cs) }
+
+// ClearCorpusStore detaches cs if it is still the attached store; a store
+// attached later by someone else is left in place.
+func ClearCorpusStore(cs CorpusStore) { sharedCorpus.clearStore(cs) }
+
 // corpusKey content-addresses one generated stream.
 type corpusKey struct {
 	spec [sha256.Size]byte // hash of the canonical spec encoding
@@ -76,6 +96,7 @@ type corpus struct {
 	max     int
 	entries map[corpusKey]*corpusEntry
 	order   []corpusKey // LRU order, oldest first
+	store   CorpusStore // optional persistence behind the memory cache
 
 	generates atomic.Uint64 // trace.Generate invocations (test observability)
 }
@@ -105,6 +126,19 @@ func (c *corpus) stream(spec program.Spec, minUops uint64) (*trace.Stream, error
 	c.mu.Unlock()
 
 	e.once.Do(func() {
+		c.mu.Lock()
+		cs := c.store
+		c.mu.Unlock()
+		if cs != nil {
+			if data, ok := cs.Load(storeKeyFor(key)); ok {
+				if s, err := trace.Read(bytes.NewReader(data)); err == nil {
+					e.name, e.recs = s.Name, s.Recs
+					return
+				}
+				// An unreadable persisted stream is not an error: fall
+				// through to regeneration (which re-saves a good copy).
+			}
+		}
 		c.generates.Add(1)
 		s, err := trace.Generate(spec, minUops)
 		if err != nil {
@@ -113,6 +147,12 @@ func (c *corpus) stream(spec program.Spec, minUops uint64) (*trace.Stream, error
 			return
 		}
 		e.name, e.recs = s.Name, s.Recs
+		if cs != nil {
+			var buf bytes.Buffer
+			if err := trace.Write(&buf, s); err == nil {
+				cs.Save(storeKeyFor(key), buf.Bytes())
+			}
+		}
 	})
 	if e.err != nil {
 		return nil, e.err
@@ -134,6 +174,25 @@ func (c *corpus) touch(key corpusKey) {
 	for len(c.order) > c.max {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
+	}
+}
+
+// storeKeyFor renders a corpus key as the persistent store's string key.
+func storeKeyFor(key corpusKey) string {
+	return hex.EncodeToString(key.spec[:]) + ":" + strconv.FormatUint(key.uops, 10)
+}
+
+func (c *corpus) setStore(cs CorpusStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = cs
+}
+
+func (c *corpus) clearStore(cs CorpusStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == cs {
+		c.store = nil
 	}
 }
 

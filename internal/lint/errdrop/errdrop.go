@@ -22,10 +22,11 @@ import (
 // Analyzer is the errdrop check.
 var Analyzer = &lint.Analyzer{
 	Name: "errdrop",
-	Doc:  "rejects discarded error results in cmd/, internal/runner, and internal/service",
+	Doc:  "rejects discarded error results in cmd/, internal/runner, internal/service, and internal/store",
 	Match: func(path string) bool {
 		return strings.HasPrefix(path, "xbc/cmd/") ||
 			strings.HasPrefix(path, "xbc/internal/service") ||
+			strings.HasPrefix(path, "xbc/internal/store") ||
 			path == "xbc/internal/runner"
 	},
 	Run: run,

@@ -18,8 +18,9 @@ import (
 )
 
 // corePackages are the packages whose output must be bit-reproducible:
-// the five frontends' engines, the stats toolkit, the trace layer, and
-// the commands that render metrics and reports.
+// the five frontends' engines, the stats toolkit, the trace layer, the
+// persistent store (deterministic exports, crash-reproducible recovery),
+// and the commands that render metrics and reports.
 var corePackages = map[string]bool{
 	"xbc/internal/xbcore":          true,
 	"xbc/internal/tcache":          true,
@@ -28,6 +29,7 @@ var corePackages = map[string]bool{
 	"xbc/internal/icfe":            true,
 	"xbc/internal/stats":           true,
 	"xbc/internal/trace":           true,
+	"xbc/internal/store":           true,
 	"xbc/internal/service":         true,
 	"xbc/internal/service/api":     true,
 	"xbc/internal/service/jobspec": true,

@@ -77,6 +77,11 @@ type SweepResponse struct {
 // Health answers GET /healthz.
 type Health struct {
 	Status string `json:"status"` // "ok" or "draining"
+	// Store reports the persistent store: "ok", "degraded" (latched
+	// read-only after a write error), "unavailable: <why>" (configured
+	// but failed to open; running memory-only), or empty when no store
+	// is configured.
+	Store string `json:"store,omitempty"`
 }
 
 // Error is the JSON body of every non-2xx response.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
@@ -173,16 +174,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := api.Health{Status: "ok", Store: s.storeHealth()}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, api.Health{Status: "draining"})
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+	writeJSON(w, http.StatusOK, h)
+}
+
+// storeHealth summarizes the persistence layer for /healthz.
+func (s *Server) storeHealth() string {
+	switch {
+	case s.persist != nil:
+		return s.persist.health()
+	case s.opts.StoreErr != "":
+		return "unavailable: " + s.opts.StoreErr
+	default:
+		return ""
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if _, err := w.Write([]byte(s.reg.render(s.QueueDepth(), s.cache.len()))); err != nil {
+	var b strings.Builder
+	b.WriteString(s.reg.render(s.QueueDepth(), s.cache.len()))
+	if s.persist != nil {
+		s.persist.renderMetrics(&b)
+	}
+	if _, err := w.Write([]byte(b.String())); err != nil {
 		return // client gone
 	}
 }

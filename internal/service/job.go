@@ -189,6 +189,22 @@ func (j *Job) Snapshot() api.Job {
 	return out
 }
 
+// result returns the completed job's result for persistence; false when
+// the job is not done.
+func (j *Job) result() (jobspec.Result, int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone || j.metrics == nil {
+		return jobspec.Result{}, 0, false
+	}
+	res := jobspec.Result{Metrics: *j.metrics}
+	if j.estimate != nil {
+		e := *j.estimate
+		res.Estimate = &e
+	}
+	return res, j.attempts, true
+}
+
 // latency returns the started->finished wall time, or false when the job
 // never ran or the clock is unset.
 func (j *Job) latency() (time.Duration, bool) {

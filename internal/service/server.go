@@ -26,9 +26,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xbc/internal/experiments"
 	"xbc/internal/runner"
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
+	"xbc/internal/store"
 )
 
 // Clock supplies the current time. The daemon injects time.Now; tests
@@ -72,6 +74,14 @@ type Options struct {
 	// Journal, when non-nil, records jobs a drain rejects from the queue,
 	// so an operator can resubmit exactly what was dropped.
 	Journal *runner.Journal
+	// Store, when non-nil, persists completed results and generated
+	// corpus streams beneath the in-memory caches: submissions read
+	// through to it on a cache miss (warm start after restart), and
+	// completed jobs write behind to it off the worker path.
+	Store *store.Store
+	// StoreErr records why a configured store could not be opened — the
+	// daemon fell back to memory-only mode — and is surfaced on /healthz.
+	StoreErr string
 	// Exec overrides job execution (tests). Default: jobspec.Execute.
 	Exec func(jobspec.Spec) (jobspec.Result, error)
 }
@@ -100,10 +110,11 @@ func (o Options) withDefaults() Options {
 
 // Server is the simulation service.
 type Server struct {
-	opts  Options
-	queue *queue
-	cache *resultCache
-	reg   *metricsReg
+	opts    Options
+	queue   *queue
+	cache   *resultCache
+	reg     *metricsReg
+	persist *persister // nil when no store is configured
 
 	mu   sync.Mutex
 	jobs map[string]*Job // every retained job: queued, running, and cached terminal
@@ -113,7 +124,9 @@ type Server struct {
 	drainOnce sync.Once
 }
 
-// New starts a Server: shard workers are running on return.
+// New starts a Server: shard workers are running on return. When a store
+// is configured its write-behind flusher starts too, and the process-wide
+// trace corpus is wired through it, so generated streams persist as well.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
@@ -122,6 +135,10 @@ func New(opts Options) *Server {
 		cache: newResultCache(opts.CacheJobs),
 		reg:   newMetricsReg(),
 		jobs:  make(map[string]*Job),
+	}
+	if opts.Store != nil {
+		s.persist = newPersister(opts.Store, opts.Journal)
+		experiments.SetCorpusStore(s.persist)
 	}
 	for shard := 0; shard < opts.Shards; shard++ {
 		for w := 0; w < opts.WorkersPerShard; w++ {
@@ -166,6 +183,20 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
 		s.reg.submit(api.SubmitCoalesced)
 		return j, api.SubmitCoalesced, nil
 	}
+	// Memory miss: read through to the persistent store before paying for
+	// a simulation. A hit adopts the stored result as a terminal job —
+	// this is the warm start after a restart, and the backstop when the
+	// LRU evicted a result the store still holds.
+	if s.persist != nil {
+		if res, attempts, ok := s.persist.loadResult(key); ok {
+			j := adoptStored(key, n, res, attempts, s.opts.Clock.now())
+			s.jobs[key] = j
+			s.mu.Unlock()
+			s.retain(j)
+			s.reg.submit(api.SubmitCached)
+			return j, api.SubmitCached, nil
+		}
+	}
 	j := newJob(key, n, s.opts.Clock.now())
 	s.jobs[key] = j
 	s.mu.Unlock()
@@ -197,9 +228,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain stops intake (Submit returns ErrDraining, /healthz flips to
 // draining), aborts every still-queued job — journaling each when a
-// journal is configured — waits for in-flight jobs to finish, and
-// returns. It is idempotent; concurrent callers all block until the first
-// drain completes.
+// journal is configured — waits for in-flight jobs to finish, flushes the
+// store's write-behind queue (journaling anything the store could not
+// take), and returns. It is idempotent; concurrent callers all block
+// until the first drain completes.
 func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
@@ -208,6 +240,12 @@ func (s *Server) Drain() {
 		}
 	})
 	s.wg.Wait()
+	if s.persist != nil {
+		// Workers are done, so nothing produces into the queue anymore;
+		// closing it flushes every pending write before Drain returns.
+		s.persist.close()
+		experiments.ClearCorpusStore(s.persist)
+	}
 }
 
 // abort marks a queued job rejected-by-drain and journals its spec.
@@ -280,11 +318,22 @@ func (s *Server) run(j *Job) {
 	s.finish(j)
 }
 
-// finish moves a terminal job under result-cache retention and tallies
-// its outcome.
+// finish moves a terminal job under result-cache retention, tallies its
+// outcome, and hands completed results to the write-behind flusher.
 func (s *Server) finish(j *Job) {
 	lat, ok := j.latency()
 	s.reg.outcome(j.State().String(), j.Spec.Frontend, lat, ok && j.State() == JobDone)
+	if s.persist != nil {
+		if res, attempts, ok := j.result(); ok {
+			s.persist.saveResult(j.ID, res, attempts)
+		}
+	}
+	s.retain(j)
+}
+
+// retain pins a terminal job in the result cache and unpins whatever the
+// LRU evicted from the job registry.
+func (s *Server) retain(j *Job) {
 	evicted := s.cache.put(j)
 	if len(evicted) == 0 {
 		return

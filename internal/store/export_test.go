@@ -1,0 +1,148 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := openT(t, t.TempDir())
+	defer src.Close()
+	want := map[string][]byte{}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("export-%02d", i)
+		val := bytes.Repeat([]byte{byte(i * 3)}, 50+i*11)
+		mustPut(t, src, key, val)
+		want[key] = val
+	}
+	var buf bytes.Buffer
+	n, err := src.WriteExport(&buf)
+	if err != nil {
+		t.Fatalf("WriteExport: %v", err)
+	}
+	if n != 30 {
+		t.Fatalf("exported %d records, want 30", n)
+	}
+
+	dst := openT(t, t.TempDir())
+	defer dst.Close()
+	applied, err := dst.Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if applied != 30 {
+		t.Fatalf("imported %d records, want 30", applied)
+	}
+	for k, v := range want {
+		mustGet(t, dst, k, v)
+	}
+	// Equal contents export byte-identically (sorted-key determinism).
+	var buf2 bytes.Buffer
+	if _, err := dst.WriteExport(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export of identical contents is not byte-identical")
+	}
+}
+
+func TestImportRejectsCorruption(t *testing.T) {
+	src := openT(t, t.TempDir())
+	defer src.Close()
+	for i := 0; i < 10; i++ {
+		mustPut(t, src, fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 64))
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteExport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"bad-magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[0] ^= 0xFF
+			return out
+		}},
+		{"flipped-record-byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(exportMagic)+8+recHeaderLen+5] ^= 0x01
+			return out
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"missing-trailer", func(b []byte) []byte { return b[:len(b)-20] }},
+		{"count-mismatch", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(exportMagic)] ^= 0x01 // declared count changes
+			return out
+		}},
+		{"trailer-crc-flip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-1] ^= 0x01
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := openT(t, t.TempDir())
+			defer dst.Close()
+			if _, err := dst.Import(bytes.NewReader(tc.mangle(pristine))); err == nil {
+				t.Fatal("Import accepted a damaged shipment")
+			}
+		})
+	}
+	// The pristine bytes still import cleanly (the cases above really did
+	// the damage, not some latent defect).
+	dst := openT(t, t.TempDir())
+	defer dst.Close()
+	if n, err := dst.Import(bytes.NewReader(pristine)); err != nil || n != 10 {
+		t.Fatalf("pristine import: n=%d err=%v", n, err)
+	}
+}
+
+func TestImportPartialApplicationConverges(t *testing.T) {
+	// A shipment damaged mid-stream applies a prefix; re-running the fixed
+	// shipment converges to the full set (Put is idempotent per content).
+	src := openT(t, t.TempDir())
+	defer src.Close()
+	for i := 0; i < 6; i++ {
+		mustPut(t, src, fmt.Sprintf("cv%d", i), bytes.Repeat([]byte{byte(i)}, 40))
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteExport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	damaged := append([]byte(nil), pristine...)
+	damaged[len(damaged)-60] ^= 0x40 // inside a late record
+
+	dst := openT(t, t.TempDir())
+	defer dst.Close()
+	if _, err := dst.Import(bytes.NewReader(damaged)); err == nil {
+		t.Fatal("damaged shipment accepted")
+	}
+	before := dst.Len()
+	n, err := dst.Import(bytes.NewReader(pristine))
+	if err != nil {
+		t.Fatalf("re-import after fix: %v", err)
+	}
+	if n != 6 || dst.Len() != 6 {
+		t.Fatalf("convergence failed: applied %d, live %d (was %d)", n, dst.Len(), before)
+	}
+	for i := 0; i < 6; i++ {
+		mustGet(t, dst, fmt.Sprintf("cv%d", i), bytes.Repeat([]byte{byte(i)}, 40))
+	}
+}
+
+func TestReadExportRejectsEmptyAndNoise(t *testing.T) {
+	for _, in := range []string{"", "XBCEXP1", "XBCEXP1\n", "totally unrelated bytes of sufficient length to matter"} {
+		if _, err := ReadExport(strings.NewReader(in), func(string, []byte) error { return nil }); err == nil {
+			t.Fatalf("ReadExport accepted %q", in)
+		}
+	}
+}

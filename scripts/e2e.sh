@@ -1,17 +1,22 @@
 #!/usr/bin/env sh
 # End-to-end smoke of the serving stack: build xbcd and xbcctl, start
-# the daemon on a random port, prove a served job is bit-identical to a
-# direct local run (xbcctl selfcheck, which also asserts the second
-# submission is a cache hit), push a little concurrent load through it,
-# check the Prometheus counters, then SIGTERM and require a clean drain
-# within a bounded time. Used by `make e2e` and the CI e2e job.
+# the daemon on a random port with a persistent store, prove a served
+# job is bit-identical to a direct local run (xbcctl selfcheck, which
+# also asserts the second submission is a cache hit), push a little
+# concurrent load through it, check the Prometheus counters — then the
+# crash-safety phase: SIGKILL the daemon (no drain, no flush beyond the
+# write-behind already landed), restart it on the same store, and
+# require every previously computed job to come back as a store hit
+# with bit-identical metrics and zero re-simulations. Finally SIGTERM
+# and require a clean drain within a bounded time. Used by `make e2e`
+# and the CI e2e job.
 set -eu
 
 GO=${GO:-go}
 WORK=$(mktemp -d)
 XBCD_PID=
 trap 'status=$?
-  [ -n "$XBCD_PID" ] && kill "$XBCD_PID" 2>/dev/null || true
+  [ -n "$XBCD_PID" ] && kill -9 "$XBCD_PID" 2>/dev/null || true
   rm -rf "$WORK"
   exit $status' EXIT INT TERM
 
@@ -19,27 +24,32 @@ echo "e2e: building xbcd and xbcctl"
 $GO build -o "$WORK/xbcd" ./cmd/xbcd
 $GO build -o "$WORK/xbcctl" ./cmd/xbcctl
 
-"$WORK/xbcd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
-  -drain-journal "$WORK/drain.json" >"$WORK/xbcd.log" 2>&1 &
-XBCD_PID=$!
+# start_xbcd <addr-file> <log-file> [extra flags...]: launches the daemon
+# and waits (max ~5s) for it to write its bound address.
+start_xbcd() {
+  addr_file=$1; log_file=$2; shift 2
+  "$WORK/xbcd" -addr 127.0.0.1:0 -addr-file "$addr_file" \
+    -store "$WORK/store" "$@" >"$log_file" 2>&1 &
+  XBCD_PID=$!
+  i=0
+  while [ ! -s "$addr_file" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+      echo "e2e: xbcd never wrote its address; log:" >&2
+      cat "$log_file" >&2
+      exit 1
+    fi
+    kill -0 "$XBCD_PID" 2>/dev/null || {
+      echo "e2e: xbcd exited early; log:" >&2
+      cat "$log_file" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  ADDR="http://$(cat "$addr_file")"
+}
 
-# Wait (max ~5s) for the daemon to write its bound address.
-i=0
-while [ ! -s "$WORK/addr" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 50 ]; then
-    echo "e2e: xbcd never wrote its address; log:" >&2
-    cat "$WORK/xbcd.log" >&2
-    exit 1
-  fi
-  kill -0 "$XBCD_PID" 2>/dev/null || {
-    echo "e2e: xbcd exited early; log:" >&2
-    cat "$WORK/xbcd.log" >&2
-    exit 1
-  }
-  sleep 0.1
-done
-ADDR="http://$(cat "$WORK/addr")"
+start_xbcd "$WORK/addr" "$WORK/xbcd.log" -drain-journal "$WORK/drain.json"
 echo "e2e: xbcd (pid $XBCD_PID) at $ADDR"
 
 echo "e2e: selfcheck — served metrics must equal a direct local run"
@@ -61,6 +71,56 @@ echo "$METRICS" | grep -q 'xbcd_jobs_total{outcome="done"}' || {
   exit 1
 }
 
+# The selfcheck job plus loadgen's three workloads make four distinct
+# results; wait for the write-behind flusher to land all of them before
+# killing the process, since only flushed writes are promised to survive
+# a SIGKILL under the default fsync mode.
+echo "e2e: waiting for the write-behind flush"
+i=0
+while true; do
+  WRITES=$(curl -fsS "$ADDR/metrics" | sed -n 's/^xbcd_store_writes_total //p')
+  [ "${WRITES:-0}" -ge 4 ] && break
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "e2e: store writes never reached 4 (got ${WRITES:-0}); log:" >&2
+    cat "$WORK/xbcd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "e2e: SIGKILL (no drain) and warm restart on the same store"
+kill -9 "$XBCD_PID"
+while kill -0 "$XBCD_PID" 2>/dev/null; do sleep 0.1; done
+XBCD_PID=
+
+start_xbcd "$WORK/addr2" "$WORK/xbcd2.log"
+echo "e2e: restarted xbcd (pid $XBCD_PID) at $ADDR"
+
+echo "e2e: warm selfcheck — restored metrics must equal a direct local run"
+"$WORK/xbcctl" selfcheck -addr "$ADDR" -fe xbc -trace gcc -uops 200000 -core default
+
+echo "e2e: warm loadgen — every submission must be served from the store"
+"$WORK/xbcctl" loadgen -addr "$ADDR" -conc 8 -n 24 -uops 20000
+
+echo "e2e: warm-start metrics — zero re-simulations"
+METRICS=$(curl -fsS "$ADDR/metrics")
+echo "$METRICS" | grep -q '^xbcd_cache_misses_total 0$' || {
+  echo "e2e: warm restart created new jobs (cache misses):" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+if echo "$METRICS" | grep -q 'xbcd_jobs_total{outcome="done"}'; then
+  echo "e2e: warm restart re-executed a job:" >&2
+  echo "$METRICS" >&2
+  exit 1
+fi
+echo "$METRICS" | grep -q '^xbcd_store_hits_total [1-9]' || {
+  echo "e2e: expected store hits after warm restart:" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+
 echo "e2e: graceful shutdown"
 kill -TERM "$XBCD_PID"
 i=0
@@ -68,15 +128,15 @@ while kill -0 "$XBCD_PID" 2>/dev/null; do
   i=$((i + 1))
   if [ "$i" -gt 150 ]; then
     echo "e2e: xbcd did not drain within 15s; log:" >&2
-    cat "$WORK/xbcd.log" >&2
+    cat "$WORK/xbcd2.log" >&2
     exit 1
   fi
   sleep 0.1
 done
 XBCD_PID=
-grep -q 'drained; bye' "$WORK/xbcd.log" || {
+grep -q 'drained; bye' "$WORK/xbcd2.log" || {
   echo "e2e: xbcd exited without completing its drain; log:" >&2
-  cat "$WORK/xbcd.log" >&2
+  cat "$WORK/xbcd2.log" >&2
   exit 1
 }
 echo "e2e: ok"
