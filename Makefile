@@ -20,7 +20,7 @@ BENCH_OUT ?= BENCH_CURRENT.json
 # jitter.
 MAXSLOW ?= 35
 
-.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-profile experiments calibrate fuzz serve e2e clean
+.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-sweep bench-profile experiments calibrate fuzz serve e2e clean
 
 all: check
 
@@ -71,6 +71,14 @@ bench-compare:
 # its recorded uops/s (or growing allocs/op past 10%) fails the build.
 bench-gate: bench
 	$(GO) run ./cmd/benchjson -compare -maxslow $(MAXSLOW) BENCH_PR4.json $(BENCH_OUT)
+
+# Sweep-planner reuse benchmark: a 90%-duplicate 100-cell grid through
+# the naive path vs planner.Run, recording wall time and the custom
+# simcells/op metric (simulations actually executed per sweep). Gated
+# against the checked-in PR 7 baseline — simulated cells must never grow.
+bench-sweep:
+	$(GO) run ./cmd/benchjson -pkg ./internal/planner -bench 'BenchmarkSweep' -benchtime 3x -o BENCH_SWEEP_CURRENT.json
+	$(GO) run ./cmd/benchjson -compare -maxslow $(MAXSLOW) BENCH_PR7.json BENCH_SWEEP_CURRENT.json
 
 # Two-command profiling flow (see README): record a CPU profile of the
 # XBC frontend benchmark, then open the interactive pprof viewer on it.

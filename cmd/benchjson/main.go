@@ -7,6 +7,7 @@
 //
 //	benchjson -o BENCH_PR2.json                  # run frontend benches, write JSON
 //	benchjson -bench 'BenchmarkGenerate' -o g.json
+//	benchjson -pkg ./internal/planner -bench 'BenchmarkSweep' -o BENCH_PR7.json
 //	benchjson -in raw.txt -o old.json            # parse an existing `go test -bench` log
 //	benchjson -compare OLD.json NEW.json         # diff two recordings
 //
@@ -39,6 +40,10 @@ type Result struct {
 	UopsPerS    float64 `json:"uops_per_s,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SimCellsPerOp is the sweep benchmarks' custom metric: simulations
+	// actually executed per sweep. Unlike timing it is deterministic, so
+	// compare gates any growth at all.
+	SimCellsPerOp float64 `json:"simcells_per_op,omitempty"`
 }
 
 // File is the recorded benchmark set.
@@ -79,6 +84,8 @@ func parse(r io.Reader) (map[string]Result, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "simcells/op":
+				res.SimCellsPerOp = v
 			}
 		}
 		out[name] = res
@@ -86,9 +93,9 @@ func parse(r io.Reader) (map[string]Result, error) {
 	return out, sc.Err()
 }
 
-func run(bench, benchtime string) (map[string]Result, error) {
+func run(bench, benchtime, pkg string) (map[string]Result, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, pkg)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
@@ -166,6 +173,20 @@ func compareFiles(oldF, newF *File, maxAllocRegressPct, maxSlowPct float64, w io
 			pr("  ^ REGRESSION: allocs/op grew past the %.0f%% gate\n", maxAllocRegressPct)
 			regressions++
 		}
+		// Simulated-cells gate: the metric is deterministic (a plan either
+		// dedups a cell or it doesn't), so any growth at all is a planner
+		// regression — no noise margin applies.
+		if o.SimCellsPerOp > 0 || nw.SimCellsPerOp > 0 {
+			pr("  simcells/op %.0f -> %.0f\n", o.SimCellsPerOp, nw.SimCellsPerOp)
+			switch {
+			case o.SimCellsPerOp > 0 && nw.SimCellsPerOp == 0:
+				pr("  ^ REGRESSION: simcells/op metric disappeared from the new recording\n")
+				regressions++
+			case nw.SimCellsPerOp > o.SimCellsPerOp:
+				pr("  ^ REGRESSION: the planner simulates more cells than the baseline\n")
+				regressions++
+			}
+		}
 		// Throughput gate, independent of the alloc gate so one benchmark
 		// can trip both. Strict <: landing exactly on the boundary passes.
 		switch {
@@ -210,6 +231,7 @@ func main() {
 	var (
 		bench     = flag.String("bench", "BenchmarkFrontend", "benchmark regexp to run")
 		benchtime = flag.String("benchtime", "5x", "benchtime passed to go test")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("o", "", "output JSON file (default stdout)")
 		in        = flag.String("in", "", "parse an existing `go test -bench` log instead of running")
 		cmp       = flag.Bool("compare", false, "compare two JSON files: benchjson -compare OLD NEW")
@@ -239,7 +261,7 @@ func main() {
 			err = cerr
 		}
 	} else {
-		results, err = run(*bench, *benchtime)
+		results, err = run(*bench, *benchtime, *pkg)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -35,18 +35,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 1, 8, 9, 10, all, or none")
-		extra    = flag.String("extra", "", "extra studies: redundancy, frontends, ablation, pathassoc, xbtb, renamer, ctxswitch, phases, ipc (comma separated, or 'all')")
-		uops     = flag.Uint64("uops", 1_000_000, "dynamic uops per workload")
-		budget   = flag.Int("budget", 32*1024, "cache uop budget for fixed-size experiments")
-		traces   = flag.String("traces", "", "comma-separated workload subset (default: all 21)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plot     = flag.Bool("plot", false, "also draw ASCII charts for figures 9 and 10")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent workload simulations")
-		timeout  = flag.Duration("timeout", 0, "per-cell deadline (0 = unbounded), e.g. 2m")
-		retries  = flag.Int("retries", 0, "retries per cell on transient errors")
-		journal  = flag.String("journal", "", "checkpoint journal file (completed cells recorded as they finish)")
-		resume   = flag.Bool("resume", false, "with -journal: replay completed cells instead of recomputing")
+		fig       = flag.String("fig", "all", "figure to reproduce: 1, 8, 9, 10, all, or none")
+		extra     = flag.String("extra", "", "extra studies: redundancy, frontends, ablation, pathassoc, xbtb, renamer, ctxswitch, phases, ipc (comma separated, or 'all')")
+		uops      = flag.Uint64("uops", 1_000_000, "dynamic uops per workload")
+		budget    = flag.Int("budget", 32*1024, "cache uop budget for fixed-size experiments")
+		traces    = flag.String("traces", "", "comma-separated workload subset (default: all 21)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot      = flag.Bool("plot", false, "also draw ASCII charts for figures 9 and 10")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "concurrent workload simulations")
+		timeout   = flag.Duration("timeout", 0, "per-cell deadline (0 = unbounded), e.g. 2m")
+		retries   = flag.Int("retries", 0, "retries per cell on transient errors")
+		journal   = flag.String("journal", "", "checkpoint journal file (completed cells recorded as they finish)")
+		resume    = flag.Bool("resume", false, "with -journal: replay completed cells instead of recomputing")
+		memoCells = flag.Int("memo", 1024, "sweep-planner memo capacity in cells (0 = default)")
 	)
 	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 	ctx, stop := xbc.NotifyContext(context.Background())
 	defer stop()
 	report := &xbc.RunReport{}
+	plan := &xbc.PlanTally{}
 
 	opts := xbc.DefaultExperimentOptions()
 	opts.UopsPerTrace = *uops
@@ -73,6 +75,10 @@ func main() {
 	opts.CellTimeout = *timeout
 	opts.Retries = *retries
 	opts.Report = report
+	// One process, one memo: cells repeated across the requested figures
+	// and studies (same figure/workload/config key) simulate once.
+	opts.Memo = xbc.NewPlanMemo(*memoCells)
+	opts.Plan = plan
 	if *journal != "" {
 		j, err := xbc.OpenJournal(*journal, *resume)
 		if err != nil {
@@ -195,10 +201,15 @@ func main() {
 		}
 	}
 
-	// Epilogue: account for every cell, then pick the exit status.
+	// Epilogue: account for every cell, then pick the exit status. The
+	// plan line reports the sweep planner's reuse accounting whenever any
+	// cell was served without a fresh simulation.
 	_, skipped, failed, aborted := report.Counts()
 	if skipped+failed+aborted > 0 || ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", report.Summary())
+	}
+	if p := plan.Snapshot(); p.Planned > p.Simulated {
+		fmt.Fprintln(os.Stderr, "experiments: plan:", p.String())
 	}
 	for _, f := range report.Failures() {
 		fmt.Fprintf(os.Stderr, "experiments: failed %s: %v\n", f.Cell, f.Err.Err)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	xbcctl submit -fe xbc -trace gcc -uops 1000000 [-wait]
+//	xbcctl sweep -fe xbc,btb -traces gcc,quake -budgets 8192,32768 [-wait]
 //	xbcctl get <job-id>
 //	xbcctl watch <job-id>
 //	xbcctl loadgen -conc 8 -n 200 -qps 50 -traces gcc,quake
@@ -56,6 +57,8 @@ func main() {
 	switch cmd {
 	case "submit":
 		cmdSubmit(args)
+	case "sweep":
+		cmdSweep(args)
 	case "get":
 		cmdGet(args)
 	case "watch":
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xbcctl <submit|get|watch|loadgen|selfcheck|cache> [-addr URL] [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xbcctl <submit|sweep|get|watch|loadgen|selfcheck|cache> [-addr URL] [flags]")
 	os.Exit(2)
 }
 
@@ -138,6 +141,16 @@ func (c client) submit(spec jobspec.Spec) (api.SubmitResponse, error) {
 	}
 	var out api.SubmitResponse
 	err = c.postJSON("/v1/jobs", body, &out)
+	return out, err
+}
+
+func (c client) sweep(req api.SweepRequest) (api.SweepResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.SweepResponse{}, err
+	}
+	var out api.SweepResponse
+	err = c.postJSON("/v1/sweeps", body, &out)
 	return out, err
 }
 
@@ -227,6 +240,100 @@ func cmdSubmit(args []string) {
 	}
 	printJSON(job)
 	if job.State != "done" {
+		os.Exit(1)
+	}
+}
+
+// planLine renders the sweep planner's accounting on one greppable line;
+// loadgen scripts and the e2e harness assert on these key=value fields.
+func planLine(p *api.PlanReport) string {
+	if p == nil {
+		return "sweep plan: unavailable"
+	}
+	s := fmt.Sprintf("sweep plan: planned=%d deduped=%d cache_hit=%d store_hit=%d coalesced=%d simulated=%d",
+		p.Planned, p.Deduped, p.CacheHits, p.StoreHits, p.Coalesced, p.Simulated)
+	if p.Unsubmitted > 0 {
+		s += fmt.Sprintf(" unsubmitted=%d", p.Unsubmitted)
+	}
+	return s
+}
+
+// cmdSweep fans a grid out through POST /v1/sweeps and prints the plan
+// report; -wait then polls every distinct job to its terminal state.
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	addr := addAddrFlag(fs)
+	var (
+		fes     = fs.String("fe", "xbc", "comma-separated frontends: "+strings.Join(jobspec.Kinds(), ", "))
+		traces  = fs.String("traces", "", "comma-separated workloads (default: all 21 paper traces)")
+		budgets = fs.String("budgets", "", "comma-separated cache uop budgets (default: 32768)")
+		uops    = fs.Uint64("uops", jobspec.DefaultUops, "dynamic uops per cell")
+		check   = fs.Bool("check", false, "enable XBC invariant checking")
+		core    = fs.String("core", "", `attach an IPC estimate: "default" or issue,window,pipedepth`)
+		wait    = fs.Bool("wait", false, "poll every distinct job to its terminal state")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	req := api.SweepRequest{Uops: *uops, Check: *check}
+	if *fes != "" {
+		req.Frontends = strings.Split(*fes, ",")
+	}
+	if *traces != "" {
+		req.Workloads = strings.Split(*traces, ",")
+	}
+	if *budgets != "" {
+		for _, b := range strings.Split(*budgets, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(b))
+			if err != nil {
+				log.Fatalf("-budgets %q: %v", *budgets, err)
+			}
+			req.Budgets = append(req.Budgets, v)
+		}
+	}
+	if *core != "" {
+		c, err := parseCore(*core)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Core = &c
+	}
+
+	c := client{*addr}
+	resp, err := c.sweep(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(planLine(resp.Plan))
+	// Duplicate cells alias their primary's job; wait once per distinct id.
+	distinct := make([]string, 0, len(resp.Jobs))
+	seen := map[string]bool{}
+	for _, j := range resp.Jobs {
+		if !seen[j.ID] {
+			seen[j.ID] = true
+			distinct = append(distinct, j.ID)
+		}
+	}
+	fmt.Printf("sweep jobs: %d cells, %d distinct\n", len(resp.Jobs), len(distinct))
+	if !*wait {
+		for _, j := range resp.Jobs {
+			fmt.Printf("  %s %s\n", j.ID, j.Status)
+		}
+		return
+	}
+	failed := 0
+	for _, id := range distinct {
+		job, err := c.wait(id, 50*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if job.State != "done" {
+			failed++
+			fmt.Printf("  %s %s: %s\n", id, job.State, job.Error)
+		}
+	}
+	fmt.Printf("sweep done: %d ok, %d failed\n", len(distinct)-failed, failed)
+	if failed > 0 {
 		os.Exit(1)
 	}
 }
@@ -433,5 +540,34 @@ func cmdSelfcheck(args []string) {
 	if resub.Status != api.SubmitCached {
 		log.Fatalf("resubmission status = %q, want cached", resub.Status)
 	}
-	fmt.Printf("selfcheck ok: job %s bit-identical to direct run; resubmission cached\n", sub.ID)
+
+	// Sweep-reuse phase: a grid that names the just-computed spec twice
+	// must plan 2 cells, dedup one, and serve the survivor without a
+	// single new simulation.
+	sw, err := c.sweep(api.SweepRequest{
+		Frontends: []string{spec.Frontend},
+		Workloads: []string{spec.Workload, spec.Workload},
+		Budgets:   []int{spec.Budget},
+		Uops:      spec.Uops,
+		Check:     spec.Check,
+		Core:      spec.Core,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sw.Plan
+	if p == nil {
+		log.Fatal("sweep response carries no plan report")
+	}
+	if p.Planned != 2 || p.Deduped != 1 {
+		log.Fatalf("sweep plan = %s, want planned=2 deduped=1", planLine(p))
+	}
+	if p.Simulated != 0 {
+		log.Fatalf("sweep re-simulated an already-served spec: %s", planLine(p))
+	}
+	if len(sw.Jobs) != 2 || sw.Jobs[0].ID != sw.Jobs[1].ID {
+		log.Fatalf("duplicate sweep cells did not alias one job: %+v", sw.Jobs)
+	}
+	fmt.Printf("selfcheck ok: job %s bit-identical to direct run; resubmission cached; %s\n",
+		sub.ID, planLine(p))
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xbc/internal/frontend"
+	"xbc/internal/planner"
 	"xbc/internal/runner"
 	"xbc/internal/stats"
 	"xbc/internal/tcache"
@@ -61,6 +62,18 @@ type Options struct {
 	// Report, when non-nil, accumulates every cell outcome across all
 	// figures of a run (for CLI summaries and exit codes).
 	Report *runner.Report
+	// Memo, when non-nil, is the sweep planner's cross-run reuse layer: a
+	// cell whose (figure, workload, config) key was already computed under
+	// this memo is served from it with zero simulation, and concurrent
+	// sweeps sharing keys coalesce onto one execution. Opt-in because it
+	// makes runs share state: callers that assert fresh execution (or vary
+	// non-keyed inputs like frontend timing config between runs) must not
+	// share one.
+	Memo *planner.Memo
+	// Plan, when non-nil, accumulates the planner's reuse accounting
+	// (planned / deduped / reused / simulated) across all figures of a run
+	// for CLI epilogues.
+	Plan *planner.Tally
 }
 
 // DefaultOptions returns the evaluation defaults.

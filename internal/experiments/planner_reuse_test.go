@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"xbc/internal/planner"
+)
+
+// sweepFigures are the figures that ISSUE's sweep planner must serve
+// bit-identically whether cells are simulated fresh, replayed from the
+// memo, or coalesced across concurrent runs.
+var sweepFigures = []struct {
+	name string
+	run  func(Options) (interface{ String() string }, error)
+}{
+	{"xbtb", func(o Options) (interface{ String() string }, error) { return XBTBSweep(o) }},
+	{"renamer", func(o Options) (interface{ String() string }, error) { return RenamerSweep(o) }},
+	{"ctxswitch", func(o Options) (interface{ String() string }, error) { return ContextSwitch(o) }},
+	{"phases", func(o Options) (interface{ String() string }, error) { return Phases(o) }},
+}
+
+// TestPlannerBitIdenticalToNaive is the property test for the planner
+// path: for every sweep figure the planned run (no memo — every cell
+// simulates) and two memoized runs (second is served entirely from the
+// memo) must render byte-for-byte identical tables, and the reuse must
+// actually happen — the memoized rerun may simulate nothing.
+func TestPlannerBitIdenticalToNaive(t *testing.T) {
+	for _, fig := range sweepFigures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			t.Parallel()
+			o := smallOpts()
+			o.UopsPerTrace = 60_000
+
+			naive, err := fig.run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			memo := planner.NewMemo(0)
+			mo := o
+			mo.Memo = memo
+
+			first := &planner.Tally{}
+			mo.Plan = first
+			warm, err := fig.run(mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second := &planner.Tally{}
+			mo.Plan = second
+			reused, err := fig.run(mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := warm.String(), naive.String(); got != want {
+				t.Errorf("memoized run diverges from naive run:\nnaive:\n%s\nmemo:\n%s", want, got)
+			}
+			if got, want := reused.String(), naive.String(); got != want {
+				t.Errorf("reused run diverges from naive run:\nnaive:\n%s\nreused:\n%s", want, got)
+			}
+
+			fr, sr := first.Snapshot(), second.Snapshot()
+			if fr.Simulated == 0 {
+				t.Errorf("first memoized run simulated nothing: %s", fr.String())
+			}
+			if sr.Simulated != 0 {
+				t.Errorf("memoized rerun re-simulated cells: %s", sr.String())
+			}
+			if sr.ReusedTotal()+sr.Coalesced != sr.Planned {
+				t.Errorf("rerun not fully served from reuse: %s", sr.String())
+			}
+		})
+	}
+}
+
+// TestConcurrentSweepsShareMemo races several copies of the same figure
+// against one shared memo. Under -race this exercises the memo's
+// singleflight; functionally every run must produce the identical table
+// and the aggregate simulation count must stay at (or below, via
+// coalescing) one fresh run's worth.
+func TestConcurrentSweepsShareMemo(t *testing.T) {
+	o := smallOpts()
+	o.UopsPerTrace = 60_000
+	o.Memo = planner.NewMemo(0)
+	tally := &planner.Tally{}
+	o.Plan = tally
+
+	baseline, err := XBTBSweep(smallOptsAt(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.String()
+
+	const runs = 6
+	var wg sync.WaitGroup
+	outs := make([]string, runs)
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tb, err := XBTBSweep(o)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = tb.String()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if outs[i] != want {
+			t.Errorf("run %d diverges from baseline:\nwant:\n%s\ngot:\n%s", i, want, outs[i])
+		}
+	}
+
+	rep := tally.Snapshot()
+	one := rep.Planned / runs
+	if rep.Simulated > one {
+		t.Errorf("shared memo simulated %d cells; one run plans only %d (%s)",
+			rep.Simulated, one, rep.String())
+	}
+	if rep.Failed != 0 || rep.Aborted != 0 {
+		t.Errorf("concurrent sweeps failed/aborted: %s", rep.String())
+	}
+}
+
+// smallOptsAt is smallOpts pinned to a specific trace length.
+func smallOptsAt(uops uint64) Options {
+	o := smallOpts()
+	o.UopsPerTrace = uops
+	return o
+}

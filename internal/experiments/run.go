@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"xbc/internal/planner"
 	"xbc/internal/runner"
 	"xbc/internal/workload"
 )
@@ -57,21 +58,36 @@ func runCells[T any](o Options, figure, config string, ws []workload.Workload, f
 
 // runNamedCells is runCells for work not keyed by a single workload (e.g.
 // context-switch pairs): cell identities come from names and fn receives
-// the index.
+// the index. Every figure runs through the sweep planner: cells are
+// deduped by their journal key, served from the memo when Options.Memo is
+// set, grouped by trace locality so the corpus cache stays hot, and the
+// residue executes on the planner's bounded pool through runner.RunOne.
 func runNamedCells[T any](o Options, figure, config string, names []string, fn func(ctx context.Context, i int) (T, error)) ([]T, []bool, error) {
-	tasks := make([]runner.Task, len(names))
+	cells := make([]planner.Cell, len(names))
 	for i := range names {
 		i := i
-		tasks[i] = runner.Task{
-			Cell: runner.Cell{Figure: figure, Workload: names[i], Config: config},
-			Run:  func(ctx context.Context) (any, error) { return fn(ctx, i) },
+		rc := runner.Cell{Figure: figure, Workload: names[i], Config: config}
+		cells[i] = planner.Cell{
+			Key: rc.Key(),
+			// The trace-stream identity: cells sharing a workload at one
+			// stream length replay one corpus entry.
+			Locality: fmt.Sprintf("%s@%d", names[i], o.UopsPerTrace),
+			RCell:    rc,
+			Run:      func(ctx context.Context) (any, error) { return fn(ctx, i) },
 		}
 	}
 	ctx := o.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := runner.Run(ctx, o.runnerOptions(), tasks)
+	results, rep := planner.Run(ctx, cells, planner.Options{
+		Parallel: o.Parallel,
+		Memo:     o.Memo,
+		Runner:   o.runnerOptions(),
+	})
+	if o.Plan != nil {
+		o.Plan.Add(rep)
+	}
 
 	vals := make([]T, len(names))
 	ok := make([]bool, len(names))
@@ -79,21 +95,23 @@ func runNamedCells[T any](o Options, figure, config string, names []string, fn f
 	succeeded := 0
 	for i, res := range results {
 		switch res.Status {
-		case runner.StatusDone:
-			if v, good := res.Payload.(T); good {
+		case planner.StatusSimulated, planner.StatusReused, planner.StatusCoalesced:
+			// A fresh or memoized value carries the typed payload; a journal
+			// replay (directly or via the memo) carries raw JSON.
+			switch v := res.Value.(type) {
+			case T:
 				vals[i], ok[i] = v, true
 				succeeded++
+			case json.RawMessage:
+				var tv T
+				if err := json.Unmarshal(v, &tv); err == nil {
+					vals[i], ok[i] = tv, true
+					succeeded++
+				}
+				// An unreadable journal payload degrades to a missing cell; a
+				// fresh run (without --resume) recomputes it.
 			}
-		case runner.StatusSkipped:
-			raw, _ := res.Payload.(json.RawMessage)
-			var v T
-			if err := json.Unmarshal(raw, &v); err == nil {
-				vals[i], ok[i] = v, true
-				succeeded++
-			}
-			// An unreadable journal payload degrades to a missing cell; a
-			// fresh run (without --resume) recomputes it.
-		case runner.StatusFailed:
+		case planner.StatusFailed:
 			if firstErr == nil && res.Err != nil {
 				firstErr = res.Err
 			}

@@ -22,11 +22,12 @@ import (
 // Analyzer is the errdrop check.
 var Analyzer = &lint.Analyzer{
 	Name: "errdrop",
-	Doc:  "rejects discarded error results in cmd/, internal/runner, internal/service, and internal/store",
+	Doc:  "rejects discarded error results in cmd/, internal/runner, internal/planner, internal/service, and internal/store",
 	Match: func(path string) bool {
 		return strings.HasPrefix(path, "xbc/cmd/") ||
 			strings.HasPrefix(path, "xbc/internal/service") ||
 			strings.HasPrefix(path, "xbc/internal/store") ||
+			strings.HasPrefix(path, "xbc/internal/planner") ||
 			path == "xbc/internal/runner"
 	},
 	Run: run,

@@ -33,6 +33,8 @@ var corePackages = map[string]bool{
 	"xbc/internal/service":         true,
 	"xbc/internal/service/api":     true,
 	"xbc/internal/service/jobspec": true,
+	"xbc/internal/planner":         true,
+	"xbc/internal/planner/grid":    true,
 	"xbc/cmd/report":               true,
 	"xbc/cmd/xbcsim":               true,
 	"xbc/cmd/benchjson":            true,

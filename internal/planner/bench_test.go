@@ -1,0 +1,143 @@
+package planner_test
+
+// Sweep-planner reuse benchmark: the same 90%-duplicate grid through the
+// naive cell-by-cell path and through planner.Run. The custom
+// "simcells/op" metric counts actual simulations per sweep — the number
+// PR 7 exists to shrink — and `make bench-sweep` gates it against the
+// checked-in BENCH_PR7.json baseline alongside wall time.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xbc/internal/planner"
+	"xbc/internal/planner/grid"
+	"xbc/internal/service/jobspec"
+)
+
+const benchParallel = 4
+
+// benchGrid is 10 unique specs (one budget axis) fanned out 10x by a
+// duplicated workload axis: 100 planned cells, 10 distinct keys.
+func benchGrid(b *testing.B) []grid.Cell {
+	g := grid.Grid{
+		Frontends: []string{"xbc"},
+		Workloads: make([]string, 10),
+		Budgets:   make([]int, 10),
+		Uops:      20_000,
+	}
+	for i := range g.Workloads {
+		g.Workloads[i] = "straightline"
+	}
+	for i := range g.Budgets {
+		g.Budgets[i] = 1024 * (i + 1)
+	}
+	cells, err := grid.Expand(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cells) != 100 {
+		b.Fatalf("grid expanded to %d cells, want 100", len(cells))
+	}
+	return cells
+}
+
+// BenchmarkSweepNaive executes every planned cell — no dedup, no reuse —
+// on the same worker-pool width the planner uses.
+func BenchmarkSweepNaive(b *testing.B) {
+	cells := benchGrid(b)
+	var sims atomic.Int64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		sem := make(chan struct{}, benchParallel)
+		var wg sync.WaitGroup
+		for _, c := range cells {
+			c := c
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sims.Add(1)
+				if _, err := jobspec.Execute(c.Norm); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sims.Load())/float64(b.N), "simcells/op")
+}
+
+// BenchmarkSweepPlanned routes the identical grid through planner.Run:
+// duplicates alias their primary and only distinct keys simulate.
+func BenchmarkSweepPlanned(b *testing.B) {
+	gcells := benchGrid(b)
+	var sims atomic.Int64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		cells := make([]planner.Cell, len(gcells))
+		for i, gc := range gcells {
+			spec := gc.Norm
+			cells[i] = planner.Cell{
+				Key:      gc.Key,
+				Locality: gc.Locality,
+				Run: func(context.Context) (any, error) {
+					sims.Add(1)
+					return jobspec.Execute(spec)
+				},
+			}
+		}
+		results, rep := planner.Run(context.Background(), cells, planner.Options{Parallel: benchParallel})
+		if rep.Simulated != 10 || rep.Deduped != 90 {
+			b.Fatalf("plan = %s, want 10 simulated / 90 deduped", rep.String())
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				b.Fatalf("cell %d: %v", i, r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sims.Load())/float64(b.N), "simcells/op")
+}
+
+// The benchmark file doubles as a correctness check that both paths
+// compute identical metrics; `go test` runs it for free.
+func TestBenchPathsAgree(t *testing.T) {
+	g := grid.Grid{
+		Frontends: []string{"xbc"},
+		Workloads: []string{"straightline", "straightline", "loopnest"},
+		Budgets:   []int{2048},
+		Uops:      20_000,
+	}
+	cells, err := grid.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcells := make([]planner.Cell, len(cells))
+	for i, gc := range cells {
+		spec := gc.Norm
+		pcells[i] = planner.Cell{
+			Key:      gc.Key,
+			Locality: gc.Locality,
+			Run:      func(context.Context) (any, error) { return jobspec.Execute(spec) },
+		}
+	}
+	results, _ := planner.Run(context.Background(), pcells, planner.Options{Parallel: 2})
+	for i, gc := range cells {
+		direct, err := jobspec.Execute(gc.Norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%+v", results[i].Value)
+		want := fmt.Sprintf("%+v", direct)
+		if got != want {
+			t.Errorf("cell %d diverges from direct execution:\nplanner: %s\ndirect:  %s", i, got, want)
+		}
+	}
+}

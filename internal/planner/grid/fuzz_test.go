@@ -1,0 +1,67 @@
+package grid
+
+import (
+	"testing"
+
+	"xbc/internal/planner"
+	"xbc/internal/service/jobspec"
+)
+
+// FuzzCanonicalize feeds arbitrary — including malformed — axis values
+// through cell canonicalization and grid expansion. Invariants: never
+// panic; canonicalization is deterministic (same spec → same key and
+// locality on every call); a grid with duplicated axes expands to cells
+// whose keys are exactly the per-cell canonicalization, so dedup identity
+// cannot depend on grid position or axis repetition.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add("xbc", "straightline", 4096, uint64(10_000), false)
+	f.Add("tc", "callheavy", 8192, uint64(0), false)
+	f.Add("ic", "loopnest", 0, uint64(1), true)
+	f.Add("", "", -5, uint64(0), false)
+	f.Add("nope", "nosuchworkload", 1, uint64(1<<40), true)
+	f.Add("xbc", "straightline\x00", 1<<30, uint64(2), false)
+	f.Fuzz(func(t *testing.T, fe, wl string, budget int, uops uint64, check bool) {
+		spec := jobspec.Spec{Frontend: fe, Workload: wl, Budget: budget, Uops: uops, Check: check}
+		c1, err1 := Canonicalize(spec)
+		c2, err2 := Canonicalize(spec)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("canonicalize not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // invalid specs must be rejected, not planned
+		}
+		if c1.Key != c2.Key || c1.Locality != c2.Locality {
+			t.Fatalf("unstable canonicalization: %+v vs %+v", c1, c2)
+		}
+		wantKey, err := spec.Key()
+		if err != nil || c1.Key != wantKey {
+			t.Fatalf("cell key %q != jobspec key %q (err %v)", c1.Key, wantKey, err)
+		}
+
+		// Duplicated/overlapping axes: expansion must never panic, and each
+		// expanded cell's key must equal its own canonicalization.
+		cells, err := Expand(Grid{
+			Frontends: []string{fe, fe},
+			Workloads: []string{wl, wl, wl},
+			Budgets:   []int{budget, budget},
+			Uops:      uops,
+			Check:     check,
+		})
+		if err != nil {
+			t.Fatalf("valid cell %s but grid of its duplicates failed: %v", spec.Label(), err)
+		}
+		if len(cells) != 12 {
+			t.Fatalf("expanded %d cells, want 12", len(cells))
+		}
+		pcells := make([]planner.Cell, len(cells))
+		for i, c := range cells {
+			if c.Key != c1.Key {
+				t.Fatalf("cell %d key %q != canonical key %q", i, c.Key, c1.Key)
+			}
+			pcells[i] = planner.Cell{Key: c.Key, Locality: c.Locality}
+		}
+		if p := planner.NewPlan(pcells); len(p.Unique()) != 1 {
+			t.Fatalf("12 identical cells planned as %d unique", len(p.Unique()))
+		}
+	})
+}

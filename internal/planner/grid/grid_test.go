@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"testing"
+
+	"xbc/internal/planner"
+	"xbc/internal/service/jobspec"
+	"xbc/internal/workload"
+)
+
+func TestExpandDefaults(t *testing.T) {
+	cells, err := Expand(Grid{Uops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workload.Names()); len(cells) != want {
+		t.Fatalf("default grid = %d cells, want %d (xbc x all workloads x one budget)", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Spec.Frontend != jobspec.KindXBC || c.Spec.Budget != jobspec.DefaultBudget {
+			t.Fatalf("cell = %+v, want xbc/default budget", c.Spec)
+		}
+		if c.Key == "" || c.Locality == "" {
+			t.Fatalf("cell %s missing key/locality", c.Spec.Label())
+		}
+	}
+}
+
+func TestExpandDeterministicOrderAndKeys(t *testing.T) {
+	g := Grid{
+		Frontends: []string{"tc", "xbc"},
+		Workloads: []string{"straightline", "callheavy"},
+		Budgets:   []int{4096, 8192},
+		Uops:      20_000,
+	}
+	a, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 {
+		t.Fatalf("cells = %d, want 8", len(a))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Locality != b[i].Locality {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		// The cell key must be exactly the jobspec content key.
+		want, err := a[i].Spec.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[i].Key != want {
+			t.Fatalf("cell %d key %s != jobspec key %s", i, a[i].Key, want)
+		}
+	}
+	// Grid order: frontends outer, workloads middle, budgets inner.
+	if a[0].Spec.Frontend != "tc" || a[0].Spec.Workload != "straightline" || a[0].Spec.Budget != 4096 {
+		t.Fatalf("cell 0 = %+v", a[0].Spec)
+	}
+	if a[7].Spec.Frontend != "xbc" || a[7].Spec.Workload != "callheavy" || a[7].Spec.Budget != 8192 {
+		t.Fatalf("cell 7 = %+v", a[7].Spec)
+	}
+}
+
+func TestExpandRejectsInvalidCellAllOrNothing(t *testing.T) {
+	_, err := Expand(Grid{
+		Frontends: []string{"xbc", "nope"},
+		Workloads: []string{"straightline"},
+		Budgets:   []int{4096},
+	})
+	if err == nil {
+		t.Fatal("want error for unknown frontend")
+	}
+}
+
+func TestLocalityGroupsByTraceNotConfig(t *testing.T) {
+	cells, err := Expand(Grid{
+		Frontends: []string{"tc", "xbc"},
+		Workloads: []string{"straightline", "callheavy"},
+		Budgets:   []int{4096, 8192},
+		Uops:      20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWorkload := map[string]map[string]bool{}
+	for _, c := range cells {
+		if byWorkload[c.Spec.Workload] == nil {
+			byWorkload[c.Spec.Workload] = map[string]bool{}
+		}
+		byWorkload[c.Spec.Workload][c.Locality] = true
+	}
+	// Every cell of one workload shares a locality, across frontends and
+	// budgets; different workloads never share one.
+	seen := map[string]string{}
+	for wl, locs := range byWorkload {
+		if len(locs) != 1 {
+			t.Fatalf("workload %s spans %d localities, want 1", wl, len(locs))
+		}
+		for loc := range locs {
+			if prev, ok := seen[loc]; ok {
+				t.Fatalf("workloads %s and %s share locality %s", prev, wl, loc)
+			}
+			seen[loc] = wl
+		}
+	}
+}
+
+func TestLocalitySplitsOnUops(t *testing.T) {
+	a, err := Canonicalize(jobspec.Spec{Frontend: "xbc", Workload: "straightline", Budget: 4096, Uops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(jobspec.Spec{Frontend: "xbc", Workload: "straightline", Budget: 4096, Uops: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Locality == b.Locality {
+		t.Fatal("different uops must not share a locality (different corpus entries)")
+	}
+}
+
+// TestExpandDuplicateAxesDedupThroughPlanner: repeated axis values expand
+// to repeated cells whose keys collapse in the planner — the sweep-level
+// reuse contract.
+func TestExpandDuplicateAxesDedupThroughPlanner(t *testing.T) {
+	cells, err := Expand(Grid{
+		Frontends: []string{"xbc", "xbc"},
+		Workloads: []string{"straightline", "straightline", "callheavy"},
+		Budgets:   []int{4096, 4096},
+		Uops:      10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("planned = %d, want 12", len(cells))
+	}
+	pcells := make([]planner.Cell, len(cells))
+	for i, c := range cells {
+		pcells[i] = planner.Cell{Key: c.Key, Locality: c.Locality}
+	}
+	p := planner.NewPlan(pcells)
+	if got := len(p.Unique()); got != 2 {
+		t.Fatalf("unique = %d, want 2 (straightline + calls at one config)", got)
+	}
+	if p.Deduped() != 10 {
+		t.Fatalf("deduped = %d, want 10", p.Deduped())
+	}
+}
+
+// TestNormalizedAliasesShareKeys: cells that normalize identically (named
+// workload vs inline program, explicit defaults vs zero values) must plan
+// as one unit of work.
+func TestNormalizedAliasesShareKeys(t *testing.T) {
+	named, err := Canonicalize(jobspec.Spec{Frontend: "xbc", Workload: "straightline", Budget: 4096, Uops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := jobspec.ResolveWorkload("straightline")
+	if !ok {
+		t.Fatal("straightline should resolve")
+	}
+	spec := w.Spec
+	inline, err := Canonicalize(jobspec.Spec{Frontend: "xbc", Program: &spec, Budget: 4096, Uops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Key != inline.Key {
+		t.Fatal("named workload and its inline program must share a key")
+	}
+	if named.Locality != inline.Locality {
+		t.Fatal("named workload and its inline program must share a locality")
+	}
+}

@@ -68,10 +68,35 @@ type SweepRequest struct {
 	Core      *interval.CoreConfig `json:"core,omitempty"`
 }
 
+// PlanReport accounts for how the sweep planner served a grid: of the
+// Planned cells, how many were exact duplicates of another cell in the
+// same sweep, how many were answered by the in-memory result cache or
+// the persistent store, how many attached to an already in-flight job,
+// and how many actually entered the queue to simulate. Planned ==
+// Deduped + CacheHits + StoreHits + Coalesced + Simulated + Unsubmitted.
+type PlanReport struct {
+	Planned   int `json:"planned"`
+	Deduped   int `json:"deduped"`
+	CacheHits int `json:"cache_hits"`
+	StoreHits int `json:"store_hits"`
+	Coalesced int `json:"coalesced"`
+	Simulated int `json:"simulated"`
+	// Unsubmitted counts unique cells never enqueued because the sweep
+	// failed mid-submission (queue full, drain began); zero on success.
+	Unsubmitted int `json:"unsubmitted,omitempty"`
+}
+
 // SweepResponse lists the fanned-out jobs in grid order (frontends outer,
-// workloads middle, budgets inner).
+// workloads middle, budgets inner). Duplicate cells alias the job of
+// their first occurrence, so len(Jobs) == planned cells on success. Plan
+// reports the reuse accounting. On a mid-sweep failure the response
+// carries the jobs submitted before the failure, a plan whose
+// Unsubmitted counts what never made it in, and the error — the body
+// shape is a superset of the plain Error body older clients decode.
 type SweepResponse struct {
-	Jobs []SubmitResponse `json:"jobs"`
+	Jobs  []SubmitResponse `json:"jobs"`
+	Plan  *PlanReport      `json:"plan,omitempty"`
+	Error string           `json:"error,omitempty"`
 }
 
 // Health answers GET /healthz.

@@ -6,9 +6,10 @@ import (
 	"net/http"
 	"strings"
 
+	"xbc/internal/planner"
+	"xbc/internal/planner/grid"
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
-	"xbc/internal/workload"
 )
 
 // Handler returns the service's HTTP API:
@@ -118,10 +119,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSweep expands the request grid in deterministic order (frontends
-// outer, workloads middle, budgets inner) and submits every cell. The
-// whole grid is validated before anything is enqueued: one bad cell
-// rejects the sweep, so a sweep is all-or-nothing at validation time.
+// handleSweep plans the request grid before touching the queue: cells
+// are expanded and canonicalized in deterministic order (frontends
+// outer, workloads middle, budgets inner; one bad cell rejects the whole
+// sweep at validation time), exact duplicates are collapsed onto their
+// first occurrence, and the unique cells are submitted in trace-locality
+// order so the corpus cache stays hot. Each unique cell's disposition —
+// served by the result cache, adopted from the persistent store,
+// attached to an in-flight job, or freshly enqueued — is accounted in
+// the response's plan report and the sweep metrics. Only unique uncached
+// cells ever reach a worker.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req api.SweepRequest
 	dec := json.NewDecoder(r.Body)
@@ -130,47 +137,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, api.Error{Error: "decoding sweep: " + err.Error()})
 		return
 	}
-	if len(req.Frontends) == 0 {
-		req.Frontends = []string{jobspec.KindXBC}
+	cells, err := grid.Expand(grid.Grid{
+		Frontends: req.Frontends,
+		Workloads: req.Workloads,
+		Budgets:   req.Budgets,
+		Uops:      req.Uops,
+		Check:     req.Check,
+		Core:      req.Core,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
 	}
-	if len(req.Workloads) == 0 {
-		req.Workloads = workload.Names()
+	pcells := make([]planner.Cell, len(cells))
+	for i, c := range cells {
+		pcells[i] = planner.Cell{Key: c.Key, Locality: c.Locality}
 	}
-	if len(req.Budgets) == 0 {
-		req.Budgets = []int{jobspec.DefaultBudget}
-	}
-	var specs []jobspec.Spec
-	for _, fe := range req.Frontends {
-		for _, wl := range req.Workloads {
-			for _, budget := range req.Budgets {
-				spec := jobspec.Spec{
-					Frontend: fe,
-					Workload: wl,
-					Budget:   budget,
-					Uops:     req.Uops,
-					Check:    req.Check,
-					Core:     req.Core,
-				}
-				if err := spec.Normalize().Validate(); err != nil {
-					writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
-					return
-				}
-				specs = append(specs, spec)
-			}
-		}
-	}
-	resp := api.SweepResponse{Jobs: make([]api.SubmitResponse, 0, len(specs))}
-	for _, spec := range specs {
-		j, status, err := s.Submit(spec)
+	plan := planner.NewPlan(pcells)
+	report := api.PlanReport{Planned: len(cells), Deduped: plan.Deduped()}
+
+	unique := plan.Unique()
+	submitted := make(map[int]api.SubmitResponse, len(unique))
+	for done, ui := range unique {
+		j, outcome, err := s.submitKeyed(cells[ui].Norm, cells[ui].Key)
 		if err != nil {
-			// Mid-sweep failure (queue full, drain): report what was
-			// accepted so far plus the error; accepted jobs keep running.
-			writeJSON(w, submitStatusCode(err), api.Error{Error: err.Error()})
+			// Mid-sweep failure (queue full, drain): already-accepted jobs
+			// keep running. The response reports planned-vs-enqueued — the
+			// jobs that made it in, a plan whose Unsubmitted counts every
+			// unique cell that did not, and the error.
+			report.Unsubmitted = len(unique) - done
+			s.reg.sweep(report, true)
+			writeJSON(w, submitStatusCode(err), api.SweepResponse{
+				Jobs:  sweepJobs(plan, cells, submitted),
+				Plan:  &report,
+				Error: err.Error(),
+			})
 			return
 		}
-		resp.Jobs = append(resp.Jobs, api.SubmitResponse{ID: j.ID, Status: status})
+		submitted[ui] = api.SubmitResponse{ID: j.ID, Status: outcome.apiStatus()}
+		switch outcome {
+		case outcomeCacheHit:
+			report.CacheHits++
+		case outcomeStoreHit:
+			report.StoreHits++
+		case outcomeCoalesced:
+			report.Coalesced++
+		default:
+			report.Simulated++
+		}
 	}
-	writeJSON(w, http.StatusAccepted, resp)
+	s.reg.sweep(report, false)
+	writeJSON(w, http.StatusAccepted, api.SweepResponse{
+		Jobs: sweepJobs(plan, cells, submitted),
+		Plan: &report,
+	})
+}
+
+// sweepJobs lays the submitted unique cells back out in grid order, each
+// duplicate aliasing its primary's job. On a partial failure only the
+// grid positions whose primaries were submitted appear.
+func sweepJobs(plan *planner.Plan, cells []grid.Cell, submitted map[int]api.SubmitResponse) []api.SubmitResponse {
+	jobs := make([]api.SubmitResponse, 0, len(cells))
+	for i := range cells {
+		if sr, ok := submitted[plan.Primary(i)]; ok {
+			jobs = append(jobs, sr)
+		}
+	}
+	return jobs
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

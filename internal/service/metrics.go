@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"xbc/internal/service/api"
 	"xbc/internal/stats"
 )
 
@@ -31,6 +32,17 @@ type metricsReg struct {
 	inflight  int64  // jobs currently executing
 	outcomes  map[string]uint64
 	latency   map[string]*latencyHist // frontend kind -> histogram
+
+	// Sweep-planner accounting (POST /v1/sweeps): per-cell dispositions
+	// summed across sweeps, plus whole-sweep counters.
+	sweeps         uint64
+	sweepsFailed   uint64 // sweeps that failed mid-submission
+	sweepPlanned   uint64
+	sweepDeduped   uint64
+	sweepCacheHits uint64
+	sweepStoreHits uint64
+	sweepCoalesced uint64
+	sweepSimulated uint64
 }
 
 type latencyHist struct {
@@ -92,6 +104,22 @@ func (r *metricsReg) outcome(state string, feKind string, lat time.Duration, ok 
 	lh.sumMS += float64(ms)
 }
 
+// sweep tallies one planned sweep's cell dispositions.
+func (r *metricsReg) sweep(plan api.PlanReport, failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweeps++
+	if failed {
+		r.sweepsFailed++
+	}
+	r.sweepPlanned += uint64(plan.Planned)
+	r.sweepDeduped += uint64(plan.Deduped)
+	r.sweepCacheHits += uint64(plan.CacheHits)
+	r.sweepStoreHits += uint64(plan.StoreHits)
+	r.sweepCoalesced += uint64(plan.Coalesced)
+	r.sweepSimulated += uint64(plan.Simulated)
+}
+
 // hitRatio returns cache hits / (hits + misses), for tests.
 func (r *metricsReg) hitRatio() float64 {
 	r.mu.Lock()
@@ -116,6 +144,14 @@ func (r *metricsReg) render(queueDepth, cacheEntries int) string {
 	counter("xbcd_cache_misses_total", "submissions that created a new job", r.misses)
 	counter("xbcd_jobs_coalesced_total", "submissions attached to an already queued or running job", r.coalesced)
 	counter("xbcd_jobs_rejected_total", "submissions refused because the queue was full or the server draining", r.rejected)
+	counter("xbcd_sweeps_total", "sweep requests planned (POST /v1/sweeps)", r.sweeps)
+	counter("xbcd_sweeps_failed_total", "sweeps that failed mid-submission (queue full or draining)", r.sweepsFailed)
+	counter("xbcd_sweep_cells_planned_total", "grid cells across all sweeps before planning", r.sweepPlanned)
+	counter("xbcd_sweep_cells_deduped_total", "sweep cells collapsed as exact duplicates within their sweep", r.sweepDeduped)
+	counter("xbcd_sweep_cells_cache_hits_total", "sweep cells answered by the in-memory result cache", r.sweepCacheHits)
+	counter("xbcd_sweep_cells_store_hits_total", "sweep cells answered by the persistent store", r.sweepStoreHits)
+	counter("xbcd_sweep_cells_coalesced_total", "sweep cells attached to an already in-flight job", r.sweepCoalesced)
+	counter("xbcd_sweep_cells_simulated_total", "sweep cells that entered the queue to simulate", r.sweepSimulated)
 	gauge("xbcd_queue_depth", "jobs queued and not yet claimed by a worker", int64(queueDepth))
 	gauge("xbcd_jobs_inflight", "jobs currently executing", r.inflight)
 	gauge("xbcd_cache_entries", "terminal jobs retained by the result cache", int64(cacheEntries))

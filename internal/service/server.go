@@ -149,26 +149,71 @@ func New(opts Options) *Server {
 	return s
 }
 
+// submitOutcome is the fine-grained submission disposition. The public
+// api statuses collapse cache and store hits into "cached"; the sweep
+// planner's report keeps them apart.
+type submitOutcome int
+
+const (
+	outcomeQueued submitOutcome = iota
+	outcomeCoalesced
+	outcomeCacheHit // terminal result already in memory
+	outcomeStoreHit // adopted from the persistent store on this submission
+)
+
+// apiStatus maps the outcome to its wire status.
+func (o submitOutcome) apiStatus() string {
+	switch o {
+	case outcomeCoalesced:
+		return api.SubmitCoalesced
+	case outcomeCacheHit, outcomeStoreHit:
+		return api.SubmitCached
+	default:
+		return api.SubmitQueued
+	}
+}
+
 // Submit validates the spec and returns the job serving it plus the
 // submission status: api.SubmitCached (terminal result in hand),
 // api.SubmitCoalesced (identical spec already in flight), or
 // api.SubmitQueued (new job enqueued). Validation errors, ErrDraining,
 // and ErrQueueFull are the failure modes.
 func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
+	j, outcome, err := s.submitSpec(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	return j, outcome.apiStatus(), nil
+}
+
+// submitSpec validates and canonicalizes the spec, then submits by key.
+func (s *Server) submitSpec(spec jobspec.Spec) (*Job, submitOutcome, error) {
 	if s.draining.Load() {
 		s.reg.reject()
-		return nil, "", ErrDraining
+		return nil, 0, ErrDraining
 	}
 	n := spec.Normalize()
 	if err := n.Validate(); err != nil {
-		return nil, "", err
-	}
-	if n.Uops > s.opts.MaxUops {
-		return nil, "", fmt.Errorf("service: %d uops exceeds the per-job cap of %d", n.Uops, s.opts.MaxUops)
+		return nil, 0, err
 	}
 	key, err := n.Key()
 	if err != nil {
-		return nil, "", err
+		return nil, 0, err
+	}
+	return s.submitKeyed(n, key)
+}
+
+// submitKeyed is the key-addressed submission path: the caller has
+// already normalized, validated, and keyed the spec (Submit for single
+// jobs, the sweep planner for grid cells — which canonicalizes each cell
+// exactly once however many grid positions share it).
+func (s *Server) submitKeyed(n jobspec.Spec, key string) (*Job, submitOutcome, error) {
+	if s.draining.Load() {
+		s.reg.reject()
+		return nil, 0, ErrDraining
+	}
+	if n.Uops > s.opts.MaxUops {
+		return nil, 0, fmt.Errorf("service: %d uops exceeds the per-job cap of %d", n.Uops, s.opts.MaxUops)
 	}
 
 	s.mu.Lock()
@@ -178,10 +223,10 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
 		if terminal {
 			s.cache.get(key) // refresh recency
 			s.reg.submit(api.SubmitCached)
-			return j, api.SubmitCached, nil
+			return j, outcomeCacheHit, nil
 		}
 		s.reg.submit(api.SubmitCoalesced)
-		return j, api.SubmitCoalesced, nil
+		return j, outcomeCoalesced, nil
 	}
 	// Memory miss: read through to the persistent store before paying for
 	// a simulation. A hit adopts the stored result as a terminal job —
@@ -194,7 +239,7 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
 			s.mu.Unlock()
 			s.retain(j)
 			s.reg.submit(api.SubmitCached)
-			return j, api.SubmitCached, nil
+			return j, outcomeStoreHit, nil
 		}
 	}
 	j := newJob(key, n, s.opts.Clock.now())
@@ -207,12 +252,12 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, string, error) {
 		s.mu.Unlock()
 		s.reg.reject()
 		if errors.Is(err, errQueueClosed) {
-			return nil, "", ErrDraining
+			return nil, 0, ErrDraining
 		}
-		return nil, "", err
+		return nil, 0, err
 	}
 	s.reg.submit(api.SubmitQueued)
-	return j, api.SubmitQueued, nil
+	return j, outcomeQueued, nil
 }
 
 // Get returns the job with the given content key, if retained.

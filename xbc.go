@@ -30,6 +30,7 @@ import (
 	"xbc/internal/frontend"
 	"xbc/internal/icfe"
 	"xbc/internal/interval"
+	"xbc/internal/planner"
 	"xbc/internal/program"
 	"xbc/internal/runner"
 	"xbc/internal/stats"
@@ -331,6 +332,22 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 // aborted) across experiment calls. Wire it into
 // ExperimentOptions.Report.
 type RunReport = runner.Report
+
+// PlanMemo is the sweep planner's cross-run reuse layer: an LRU of
+// computed cell values plus singleflight coalescing of concurrent
+// identical cells. Wire one into ExperimentOptions.Memo to serve
+// repeated sweep cells with zero simulation (results are bit-identical
+// by the determinism contract).
+type PlanMemo = planner.Memo
+
+// NewPlanMemo returns a memo holding at most capacity cell values
+// (default 256 when capacity <= 0).
+func NewPlanMemo(capacity int) *PlanMemo { return planner.NewMemo(capacity) }
+
+// PlanTally accumulates sweep-planner reuse accounting (planned /
+// deduped / reused / simulated) across experiment calls. Wire it into
+// ExperimentOptions.Plan.
+type PlanTally = planner.Tally
 
 // NotifyContext returns a context cancelled on SIGINT/SIGTERM: wire it
 // into ExperimentOptions.Ctx for graceful mid-sweep cancellation (cells
