@@ -20,7 +20,7 @@ BENCH_OUT ?= BENCH_CURRENT.json
 # jitter.
 MAXSLOW ?= 35
 
-.PHONY: all check build test vet lint race bench bench-smoke bench-compare bench-gate bench-sweep bench-profile experiments calibrate fuzz serve e2e clean
+.PHONY: all check build test vet lint lint-flow lint-sarif race bench bench-smoke bench-compare bench-gate bench-sweep bench-profile experiments calibrate fuzz serve e2e clean
 
 all: check
 
@@ -41,10 +41,21 @@ vet:
 
 # Project-specific static analysis (cmd/xbclint): determinism, hot-loop
 # allocation discipline, enum exhaustiveness, dropped errors, float
-# comparisons. `go run ./cmd/xbclint -list` describes the analyzers;
-# suppress a finding with `//xbc:ignore <analyzer> <reason>`.
+# comparisons, and the flow-sensitive concurrency suite (lockorder,
+# ctxflow, goroleak, atomicmix). `go run ./cmd/xbclint -list` describes
+# the analyzers; suppress a finding with `//xbc:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/xbclint ./...
+
+# Just the flow-sensitive concurrency analyzers, for focused runs while
+# working on locking or goroutine code.
+lint-flow:
+	$(GO) run ./cmd/xbclint -run lockorder,ctxflow,goroleak,atomicmix ./...
+
+# Machine-readable findings (suppressed ones included) for code-scanning
+# upload; never fails the build by itself — `lint` is the gate.
+lint-sarif:
+	$(GO) run ./cmd/xbclint -sarif ./... > xbclint.sarif || true
 
 test:
 	$(GO) test ./...

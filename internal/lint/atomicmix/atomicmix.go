@@ -1,0 +1,228 @@
+// Package atomicmix reports variables accessed through sync/atomic in
+// one place and by plain read or write in another. Mixing the two means
+// the plain access races with every atomic one — the atomic calls
+// protect nothing — unless the plain access holds the mutex of the
+// struct that owns the field, which is the one blessed hybrid (atomic
+// fast-path reads, mutex-guarded writes are NOT safe; mutex-guarded
+// plain access alongside atomic access of a value only ever written
+// under that mutex is a deliberate pattern the analyzer accepts rather
+// than second-guesses).
+//
+// Identification is by types.Object: any variable (field or not) whose
+// address flows into a sync/atomic function is an atomic target; every
+// other identifier use of that object is a plain access. Composite
+// literal keys and the atomic call arguments themselves are structure,
+// not access. The typed atomics (atomic.Bool, atomic.Uint64, ...) make
+// mixing impossible by construction and need no analysis.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/lockset"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &lint.Analyzer{
+	Name:  "atomicmix",
+	Doc:   "reports plain reads/writes of variables that are elsewhere accessed via sync/atomic, unless the owning struct's mutex is held at the plain access",
+	Match: func(string) bool { return true },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	fset := pass.Fset()
+
+	// Pass 1: every object whose address is an argument to a sync/atomic
+	// call, with the first such site for the report, plus the identifier
+	// nodes that belong to those call arguments (exempt from pass 2).
+	targets := map[*types.Var]token.Position{}
+	exempt := map[*ast.Ident]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						exempt[id] = true
+					}
+					return true
+				})
+				v := addressedVar(info, arg)
+				if v == nil {
+					continue
+				}
+				if _, seen := targets[v]; !seen {
+					targets[v] = fset.Position(arg.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// Composite literal keys name fields without accessing them.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, el := range cl.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						exempt[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: walk every function with held-lock sets and flag plain
+	// uses of the targets. Deduplicate per identifier (a selector visit
+	// and its Sel child would otherwise double-report).
+	type finding struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	reported := map[*ast.Ident]bool{}
+	var finds []finding
+	for _, body := range functionBodies(pass.Pkg.Files) {
+		res := lockset.Analyze(pass.Pkg, body)
+		res.WalkNodes(func(held lockset.Set, n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || exempt[id] || reported[id] {
+				return
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return
+			}
+			if _, isTarget := targets[v]; !isTarget {
+				return
+			}
+			if heldCovers(held, v) {
+				return
+			}
+			reported[id] = true
+			finds = append(finds, finding{pos: id.Pos(), v: v})
+		})
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		first := targets[f.v]
+		pass.Reportf(f.pos, "plain access of %s, which is accessed atomically at %s:%d; every access must go through sync/atomic or hold the owner's mutex", f.v.Name(), first.Filename, first.Line)
+	}
+}
+
+// heldCovers reports whether a held lock plausibly guards the variable:
+// for a field, a lock owned by the same struct type; for a package-level
+// variable, any held lock from the same scope layer (lenient: any lock).
+func heldCovers(held lockset.Set, v *types.Var) bool {
+	if len(held) == 0 {
+		return false
+	}
+	if !v.IsField() {
+		return true
+	}
+	owner := fieldOwner(v)
+	if owner == "" {
+		return true // unknown owner: give the held lock the benefit
+	}
+	for id := range held {
+		if id.OwnerType() == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOwner names the struct type declaring the field, by scanning the
+// package scope for the named type whose underlying struct holds it.
+func fieldOwner(v *types.Var) string {
+	pkg := v.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// functionBodies returns every function body in the package, in source
+// order: declarations first, then each literal as its own unit.
+func functionBodies(files []*ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// isAtomicCall matches sync/atomic package-level functions
+// (LoadUint64, AddInt64, CompareAndSwapPointer, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &x or &s.f arguments to the variable object.
+func addressedVar(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := arg.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch e := u.X.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

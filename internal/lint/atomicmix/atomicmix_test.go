@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/atomicmix"
+	"xbc/internal/lint/linttest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, atomicmix.Analyzer, "testdata/src/a")
+}

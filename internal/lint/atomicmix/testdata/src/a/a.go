@@ -1,0 +1,103 @@
+// Fixture for the atomicmix analyzer: plain accesses of atomically
+// accessed variables, the mutex-covered hybrid that is accepted, and the
+// typed-atomic shapes that need no analysis.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type C struct {
+	mu sync.Mutex
+	n  uint64
+	m  uint64
+}
+
+// inc makes n an atomic target.
+func (c *C) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// read races with inc: the atomic calls protect nothing.
+func (c *C) read() uint64 {
+	return c.n // want "plain access of n"
+}
+
+// readLocked holds the owner's mutex: the accepted hybrid.
+func (c *C) readLocked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// incLockedPlain writes under the owner's mutex.
+func (c *C) incLockedPlain() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// lateAccess released the mutex before touching n.
+func (c *C) lateAccess() uint64 {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "plain access of n"
+}
+
+type D struct{ mu sync.Mutex }
+
+// wrongLock holds an unrelated struct's mutex: no cover.
+func wrongLock(c *C, d *D) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return c.n // want "plain access of n"
+}
+
+// loadAtomic keeps both sides atomic: clean.
+func (c *C) loadAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// bumpPlain touches m, which nothing accesses atomically: clean.
+func (c *C) bumpPlain() {
+	c.m++
+}
+
+// newC names n as a composite-literal key: structure, not access.
+func newC() *C {
+	return &C{n: 1}
+}
+
+// initC documents a pre-publication plain write.
+func initC(c *C) {
+	//xbc:ignore atomicmix fixture: pre-publication init, nothing else sees c yet
+	c.n = 0
+}
+
+var hits uint64
+
+// bumpHits makes the package-level hits an atomic target.
+func bumpHits() {
+	atomic.AddUint64(&hits, 1)
+}
+
+// readHits races with bumpHits.
+func readHits() uint64 {
+	return hits // want "plain access of hits"
+}
+
+var hmu sync.Mutex
+
+// readHitsLocked holds a package-scope mutex: accepted for package vars.
+func readHitsLocked() uint64 {
+	hmu.Lock()
+	defer hmu.Unlock()
+	return hits
+}
+
+type T struct{ flag atomic.Bool }
+
+// Typed atomics cannot be mixed: clean by construction.
+func (t *T) set()      { t.flag.Store(true) }
+func (t *T) get() bool { return t.flag.Load() }

@@ -1,0 +1,409 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, for the flow-aware analyzers in internal/lint. The
+// graph is deliberately simple: basic blocks hold whole statements (plus
+// the condition/tag expressions that guard branches), edges follow
+// if/for/range/switch/select/label/goto/break/continue/return, and
+// nothing descends into function literals — a literal's body is a
+// separate function and gets its own graph.
+//
+// Statement granularity is the right resolution for the analyzers built
+// on top (held-lock sets, context-check reachability): a dataflow fact
+// changes at statement boundaries, and the AST node stored in the block
+// is the same pointer the analyzer sees when it walks the source, so
+// facts computed here can be joined back onto syntax with a map lookup.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// A Block is a basic block: statements that execute in sequence, ending
+// in a transfer of control to one of Succs. Nodes may be empty for
+// synthetic join points. Cond holds a branch condition evaluated at the
+// end of the block (an *ast.Expr from an if or for), nil otherwise.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.body", ... for debugging
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Infinite marks a for-loop head with no condition (or a constant
+	// true condition): control cannot leave through the loop test.
+	Infinite bool
+
+	// Stmt points back at the statement a head block belongs to: the
+	// *ast.ForStmt on a "for.head", the *ast.RangeStmt on a "range.head".
+	// Nil on other blocks. Analyzers use it to report at the loop.
+	Stmt ast.Stmt
+}
+
+// A Graph is the CFG of one function body. Entry is Blocks[0]; Exit is
+// the unique synthetic return target (return statements and falling off
+// the end both edge to it). Blocks unreachable from Entry are kept (the
+// dataflow engine simply never visits them).
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the CFG for a function body. A nil body (declaration
+// without a definition) yields a two-block graph with Entry wired
+// straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{labels: map[string]*labelInfo{}}
+	entry := b.newBlock("entry")
+	b.exit = b.newBlock("exit")
+	b.curr = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.curr, b.exit)
+	b.resolveGotos()
+	return &Graph{Entry: entry, Exit: b.exit, Blocks: b.blocks}
+}
+
+// Preds computes the predecessor map on demand.
+func (g *Graph) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	return preds
+}
+
+// String renders the graph for tests: one line per block with its kind,
+// node count, and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		var succs []int
+		for _, s := range blk.Succs {
+			succs = append(succs, s.Index)
+		}
+		sort.Ints(succs)
+		fmt.Fprintf(&sb, "b%d %s nodes=%d succs=%v\n", blk.Index, blk.Kind, len(blk.Nodes), succs)
+	}
+	return sb.String()
+}
+
+// labelInfo tracks the three targets a label can name: the labeled
+// statement itself (for goto), and — when the labeled statement is a
+// loop/switch/select — its break and continue destinations.
+type labelInfo struct {
+	target  *Block // goto destination
+	breakTo *Block
+	contTo  *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	blocks []*Block
+	exit   *Block
+	curr   *Block
+
+	// Innermost enclosing break/continue targets. Switch/select push a
+	// break target with a nil continue (continue skips them and binds to
+	// the enclosing loop).
+	breakStack []*Block
+	contStack  []*Block
+
+	labels       map[string]*labelInfo
+	pendingLabel string // set by LabeledStmt for the construct it labels
+	gotos        []pendingGoto
+
+	// fallthroughTo is the next case clause's block while building a
+	// switch clause body.
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.blocks), Kind: kind}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate ends the current block after a jump (return/break/...): what
+// follows syntactically is unreachable until an edge targets it.
+func (b *builder) terminate() {
+	b.curr = b.newBlock("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built,
+// registering its break/continue targets.
+func (b *builder) takeLabel(breakTo, contTo *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	li := b.labels[b.pendingLabel]
+	li.breakTo = breakTo
+	li.contTo = contTo
+	b.pendingLabel = ""
+}
+
+func (b *builder) pushLoop(breakTo, contTo *Block) {
+	b.breakStack = append(b.breakStack, breakTo)
+	b.contStack = append(b.contStack, contTo)
+}
+
+func (b *builder) popLoop() {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.curr.Nodes = append(b.curr.Nodes, s.Init)
+		}
+		b.curr.Nodes = append(b.curr.Nodes, s.Cond)
+		condBlk := b.curr
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.done")
+		b.edge(condBlk, then)
+		b.curr = then
+		b.stmtList(s.Body.List)
+		b.edge(b.curr, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(condBlk, els)
+			b.curr = els
+			b.stmt(s.Else)
+			b.edge(b.curr, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.curr = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.curr.Nodes = append(b.curr.Nodes, s.Init)
+		}
+		head := b.newBlock("for.head")
+		head.Stmt = s
+		b.edge(b.curr, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		} else {
+			head.Infinite = true
+		}
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			contTo = post
+		}
+		b.takeLabel(after, contTo)
+		b.pushLoop(after, contTo)
+		b.curr = body
+		b.stmtList(s.Body.List)
+		b.edge(b.curr, contTo)
+		b.popLoop()
+		b.curr = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		head.Stmt = s
+		head.Nodes = append(head.Nodes, s)
+		b.edge(b.curr, head)
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.takeLabel(after, head)
+		b.pushLoop(after, head)
+		b.curr = body
+		b.stmtList(s.Body.List)
+		b.edge(b.curr, head)
+		b.popLoop()
+		b.curr = after
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, s.Assign, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		// The select itself sits in the head block as a marker node (the
+		// dispatch point); its comm statements and clause bodies flow
+		// through the per-clause blocks. Consumers walking node subtrees
+		// must therefore not descend into a SelectStmt node — see
+		// lockset.InspectNode.
+		b.curr.Nodes = append(b.curr.Nodes, s)
+		after := b.newBlock("select.done")
+		b.takeLabel(after, nil)
+		head := b.curr
+		b.breakStack = append(b.breakStack, after)
+		b.contStack = append(b.contStack, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.comm")
+			b.edge(head, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.curr = blk
+			b.stmtList(cc.Body)
+			b.edge(b.curr, after)
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.contStack = b.contStack[:len(b.contStack)-1]
+		// select{} with no clauses blocks forever: no edge to after.
+		b.curr = after
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		target := b.newBlock("label." + name)
+		b.edge(b.curr, target)
+		b.curr = target
+		li := &labelInfo{target: target}
+		b.labels[name] = li
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.curr.Nodes = append(b.curr.Nodes, s)
+		b.edge(b.curr, b.exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.curr.Nodes = append(b.curr.Nodes, s)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+					b.edge(b.curr, li.breakTo)
+				}
+			} else if n := len(b.breakStack); n > 0 {
+				b.edge(b.curr, b.breakStack[n-1])
+			}
+			b.terminate()
+		case "continue":
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.contTo != nil {
+					b.edge(b.curr, li.contTo)
+				}
+			} else {
+				// Innermost loop continue target: switch/select push nil.
+				for i := len(b.contStack) - 1; i >= 0; i-- {
+					if b.contStack[i] != nil {
+						b.edge(b.curr, b.contStack[i])
+						break
+					}
+				}
+			}
+			b.terminate()
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: b.curr, label: s.Label.Name})
+			b.terminate()
+		case "fallthrough":
+			b.edge(b.curr, b.fallthroughTo)
+			b.terminate()
+		}
+
+	default:
+		// Plain statements: decl, assign, expr, send, defer, go, inc/dec,
+		// empty. All execute straight through.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.curr.Nodes = append(b.curr.Nodes, s)
+	}
+}
+
+// switchLike builds switch and type-switch: the head evaluates init and
+// the tag, every clause is a successor of the head, and absent a default
+// clause the head also edges to the join block.
+func (b *builder) switchLike(init ast.Stmt, tag ast.Node, body *ast.BlockStmt, kind string) {
+	if init != nil {
+		b.curr.Nodes = append(b.curr.Nodes, init)
+	}
+	if tag != nil {
+		b.curr.Nodes = append(b.curr.Nodes, tag)
+	}
+	head := b.curr
+	after := b.newBlock(kind + ".done")
+	b.takeLabel(after, nil)
+
+	clauses := make([]*Block, len(body.List))
+	hasDefault := false
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses[i] = b.newBlock(kind + ".case")
+		b.edge(head, clauses[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+
+	b.breakStack = append(b.breakStack, after)
+	b.contStack = append(b.contStack, nil)
+	savedFT := b.fallthroughTo
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if i+1 < len(clauses) {
+			b.fallthroughTo = clauses[i+1]
+		} else {
+			b.fallthroughTo = after
+		}
+		b.curr = clauses[i]
+		b.stmtList(cc.Body)
+		b.edge(b.curr, after)
+	}
+	b.fallthroughTo = savedFT
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+	b.curr = after
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil {
+			b.edge(g.from, li.target)
+		}
+	}
+}

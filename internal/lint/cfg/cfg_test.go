@@ -1,0 +1,307 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns its block.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	return New(parseBody(t, body))
+}
+
+// reachable returns the set of blocks reachable from entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\nx++\n_ = x")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3:\n%s", len(g.Entry.Nodes), g)
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 } else { x = 3 }\n_ = x")
+	// Entry must have two successors (then, else) and both must reach exit.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2:\n%s", len(g.Entry.Succs), g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 }\n_ = x")
+	// Condition block edges to then and to the join.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2:\n%s", len(g.Entry.Succs), g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ { _ = i }\n_ = 1")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no for.head block:\n%s", g)
+	}
+	if head.Infinite {
+		t.Fatalf("conditioned loop marked infinite:\n%s", g)
+	}
+	// The head must be its own ancestor through body -> post -> head.
+	seen := map[*Block]bool{}
+	work := append([]*Block{}, head.Succs...)
+	looped := false
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == head {
+			looped = true
+			break
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, b.Succs...)
+	}
+	if !looped {
+		t.Fatalf("no back edge to loop head:\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteForMarked(t *testing.T) {
+	g := build(t, "for { _ = 1 }")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil || !head.Infinite {
+		t.Fatalf("infinite loop head not marked:\n%s", g)
+	}
+	// Without a break, exit must be unreachable.
+	if reachable(g)[g.Exit] {
+		t.Fatalf("exit reachable through infinite loop:\n%s", g)
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	g := build(t, "for { break }")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("break does not reach exit:\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, "s := []int{1}\nfor _, v := range s { _ = v }\n_ = 2")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head should branch to body and done:\n%s", g)
+	}
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g := build(t, "return\n_ = 1")
+	// The statement after return sits in an unreachable block.
+	reach := reachable(g)
+	var unreach *Block
+	for _, b := range g.Blocks {
+		if !reach[b] && len(b.Nodes) > 0 {
+			unreach = b
+		}
+	}
+	if unreach == nil {
+		t.Fatalf("statement after return should be unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchDefault(t *testing.T) {
+	// With a default clause the head must NOT edge straight to the join.
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\ndefault:\n\tx = 3\n}\n_ = x")
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.done" {
+			t.Fatalf("switch with default edges head to done:\n%s", g)
+		}
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\n}\n_ = x")
+	found := false
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("switch without default must edge head to done:\n%s", g)
+	}
+}
+
+func TestFallthrough(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n\tfallthrough\ncase 2:\n\tx = 9\n}\n_ = x")
+	// The first case block must edge to the second case block.
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks:\n%s", g)
+	}
+	linked := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, "ch := make(chan int)\ndone := make(chan int)\nselect {\ncase v := <-ch:\n\t_ = v\ncase <-done:\n\treturn\n}\n_ = 1")
+	comms := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.comm" {
+			comms++
+		}
+	}
+	if comms != 2 {
+		t.Fatalf("want 2 comm blocks, got %d:\n%s", comms, g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {}\n_ = 1")
+	if reachable(g)[g.Exit] {
+		t.Fatalf("empty select should not reach exit:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\n_ = 1")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("labeled break must escape both loops:\n%s", g)
+	}
+}
+
+func TestLabeledContinueStaysInLoop(t *testing.T) {
+	g := build(t, "outer:\nfor {\n\tfor {\n\t\tcontinue outer\n\t}\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatalf("labeled continue must not escape the outer infinite loop:\n%s", g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, "x := 0\nloop:\nx++\nif x < 3 { goto loop }\n_ = x")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// goto must create a back edge: label block reachable from the goto.
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatalf("no label block:\n%s", g)
+	}
+	preds := g.Preds()
+	if len(preds[label]) < 2 {
+		t.Fatalf("label block should have fallthrough + goto preds, got %d:\n%s", len(preds[label]), g)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("nil body: exit must be reachable from entry")
+	}
+}
+
+func TestContinueInsideSwitchBindsToLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n\tswitch i {\n\tcase 1:\n\t\tcontinue\n\t}\n\t_ = i\n}")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The continue block must edge to for.post, not switch.done.
+	var contBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok.String() == "continue" {
+				contBlk = b
+			}
+		}
+	}
+	if contBlk == nil {
+		t.Fatalf("no continue block:\n%s", g)
+	}
+	ok := false
+	for _, s := range contBlk.Succs {
+		if s.Kind == "for.post" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("continue inside switch must target the loop post:\n%s", g)
+	}
+}

@@ -1,0 +1,382 @@
+// Package ctxflow enforces that blocking operations stay cancellable.
+// Two rules:
+//
+// Rule A — context-taking functions. In any function with a
+// context.Context parameter, a blocking operation (bare channel send or
+// receive, sync.WaitGroup.Wait, sync.Cond.Wait) must be preceded on
+// every path by a context check: calling a ctx method (Done/Err/
+// Deadline/Value), passing ctx to a call, or passing through a select
+// with a ctx-guarded case. "Checked" is a must-fact over the CFG, so a
+// single unchecked path is a finding. An infinite for-loop that no
+// break, return, or goto can leave is also reported: the function
+// accepted a context it can never honor.
+//
+// Rule B — shared channels, any function. A bare send or receive on a
+// channel that lives in a struct field or package-level variable, outside
+// any select, blocks this goroutine forever if the partner never arrives
+// (closed-at-drain channels turn it into a panic or a permanent sleep).
+// Locals and captured locals are exempt — their pairing is visible
+// locally — as is ranging over a channel, whose termination protocol is
+// close.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/cfg"
+	"xbc/internal/lint/dataflow"
+	"xbc/internal/lint/lockset"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lint.Analyzer{
+	Name:  "ctxflow",
+	Doc:   "reports blocking operations unreachable by cancellation: unchecked blocking in ctx-taking functions, exitless loops in them, and bare sends/receives on shared (field or package-level) channels outside a select",
+	Match: func(string) bool { return true },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	fset := pass.Fset()
+
+	// Channel operations appearing as a select comm are exempt from both
+	// rules: the select is the multi-way wait that makes them stoppable.
+	commOps := map[ast.Node]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				return true
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					commOps[m] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+
+	// Rule B, flow-insensitive. Ops it reports are remembered so Rule A
+	// does not report the same operation twice.
+	flagged := map[ast.Node]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if commOps[n] {
+					return true
+				}
+				if id, ok := sharedChan(fset, info, n.Chan); ok {
+					flagged[n] = true
+					pass.Reportf(n.Arrow, "blocking send on shared channel %s outside any select; a receiver that never arrives parks this goroutine forever (add a done/ctx case)", id)
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.ARROW || commOps[n] {
+					return true
+				}
+				if id, ok := sharedChan(fset, info, n.X); ok {
+					flagged[n] = true
+					pass.Reportf(n.OpPos, "blocking receive on shared channel %s outside any select; a sender that never arrives parks this goroutine forever (add a done/ctx case)", id)
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule A, per context-taking function unit.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					if ctxs := ctxParams(info, n.Type); len(ctxs) > 0 {
+						checkCtxFunc(pass, n.Body, ctxs, commOps, flagged)
+					}
+				}
+			case *ast.FuncLit:
+				if ctxs := ctxParams(info, n.Type); len(ctxs) > 0 {
+					checkCtxFunc(pass, n.Body, ctxs, commOps, flagged)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ctxParams returns the objects of the function's named context.Context
+// parameters.
+func ctxParams(info *types.Info, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxFunc runs the must-checked dataflow over one ctx function.
+func checkCtxFunc(pass *lint.Pass, body *ast.BlockStmt, ctxs map[types.Object]bool, commOps, flagged map[ast.Node]bool) {
+	info := pass.Pkg.Info
+	g := cfg.New(body)
+
+	step := func(checked bool, n ast.Node) bool {
+		if checked {
+			return true
+		}
+		if nodeChecksCtx(info, ctxs, n) {
+			return true
+		}
+		return false
+	}
+
+	flow := dataflow.Forward(g, dataflow.Problem[bool]{
+		Entry: false,
+		Transfer: func(b *cfg.Block, in bool) bool {
+			checked := in
+			for _, n := range b.Nodes {
+				checked = step(checked, n)
+			}
+			return checked
+		},
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+	})
+
+	// Report pass: replay facts, flagging blocking ops met while the
+	// must-checked fact is still false.
+	for _, b := range g.Blocks {
+		in, ok := flow.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		checked := in
+		for _, n := range b.Nodes {
+			if !checked {
+				reportBlocking(pass, n, commOps, flagged)
+			}
+			checked = step(checked, n)
+		}
+	}
+
+	// Exitless infinite loops: the function accepted a ctx it can never
+	// honor once such a loop is entered.
+	reach := reachableFrom(g.Entry)
+	for _, b := range g.Blocks {
+		if !b.Infinite || !reach[b] {
+			continue
+		}
+		if !reachableFrom(b)[g.Exit] {
+			pass.Reportf(b.Stmt.Pos(), "function takes a context but this loop has no exit: no break, return, or goto leaves it, so cancellation is never honored")
+		}
+	}
+}
+
+// nodeChecksCtx reports whether executing the node consults the context:
+// any call that mentions a ctx parameter (a ctx method, or ctx passed
+// along), or a select with a ctx-guarded comm case. A bare identifier
+// mention (ctx == nil) is not a check.
+func nodeChecksCtx(info *types.Info, ctxs map[types.Object]bool, node ast.Node) bool {
+	if sel, ok := node.(*ast.SelectStmt); ok {
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil && mentionsCtxCall(info, ctxs, cc.Comm) {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	lockset.InspectNode(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && callMentionsCtx(info, ctxs, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsCtxCall looks for a ctx-involving call anywhere under n
+// (used for select comms, whose subtree is otherwise skipped).
+func mentionsCtxCall(info *types.Info, ctxs map[types.Object]bool, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && callMentionsCtx(info, ctxs, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callMentionsCtx reports whether the call is a ctx method call or
+// passes a ctx parameter as an argument.
+func callMentionsCtx(info *types.Info, ctxs map[types.Object]bool, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && ctxs[info.Uses[id]] {
+			switch sel.Sel.Name {
+			case "Done", "Err", "Deadline", "Value":
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		ok := false
+		ast.Inspect(arg, func(m ast.Node) bool {
+			if id, isIdent := m.(*ast.Ident); isIdent && ctxs[info.Uses[id]] {
+				ok = true
+				return false
+			}
+			_, isLit := m.(*ast.FuncLit)
+			return !isLit
+		})
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBlocking flags the blocking operations inside one CFG node that
+// rule B has not already reported and no select guards.
+func reportBlocking(pass *lint.Pass, node ast.Node, commOps, flagged map[ast.Node]bool) {
+	info := pass.Pkg.Info
+	lockset.InspectNode(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !commOps[n] && !flagged[n] {
+				pass.Reportf(n.Arrow, "blocking send with no context check on any path here; check ctx.Err or select on ctx.Done before blocking")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commOps[n] && !flagged[n] {
+				pass.Reportf(n.OpPos, "blocking receive with no context check on any path here; check ctx.Err or select on ctx.Done before blocking")
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingWait(info, n); ok {
+				pass.Reportf(n.Pos(), "%s with no context check on any path here; a worker that never finishes blocks past cancellation", name)
+			}
+		}
+		return true
+	})
+}
+
+// blockingWait matches sync.WaitGroup.Wait and sync.Cond.Wait calls.
+func blockingWait(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	switch named(recv.Type()) {
+	case "WaitGroup":
+		return "WaitGroup.Wait", true
+	case "Cond":
+		return "Cond.Wait", true
+	}
+	return "", false
+}
+
+func named(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// sharedChan classifies a channel expression as shared state: a struct
+// field or a package-level variable. The returned name is the lock-style
+// identity ("persister.ch", "pkg.done").
+func sharedChan(fset *token.FileSet, info *types.Info, e ast.Expr) (string, bool) {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				return string(lockset.ExprID(fset, info, e)), true
+			}
+			return "", false
+		}
+		// Package-qualified variable: other.Ch.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+// reachableFrom returns the blocks reachable from start.
+func reachableFrom(start *cfg.Block) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{start: true}
+	work := []*cfg.Block{start}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/ctxflow"
+	"xbc/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,163 @@
+// Fixture for the ctxflow analyzer: unchecked blocking in ctx-taking
+// functions (rule A), bare operations on shared channels (rule B), and
+// the cancellation shapes that must stay clean.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type S struct {
+	ch   chan int
+	done chan struct{}
+}
+
+func touch(ctx context.Context) {}
+
+// --- rule A: ctx-taking functions ---
+
+// recvUnchecked blocks before the context is ever consulted.
+func recvUnchecked(ctx context.Context, ch chan int) int {
+	v := <-ch // want "blocking receive with no context check"
+	_ = ctx   // a bare mention is not a check
+	return v
+}
+
+// recvChecked consults ctx.Err first: the must-fact covers both
+// branches of the if.
+func recvChecked(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return <-ch
+}
+
+// recvDelegated passes ctx along, which counts as the check.
+func recvDelegated(ctx context.Context, ch chan int) int {
+	touch(ctx)
+	return <-ch
+}
+
+// recvOnePathUnchecked: the fast path skips the check, and one
+// unchecked path taints the join.
+func recvOnePathUnchecked(ctx context.Context, ch chan int, fast bool) int {
+	if !fast {
+		touch(ctx)
+	}
+	return <-ch // want "blocking receive with no context check"
+}
+
+// selectChecked blocks inside a select with a ctx case: exempt.
+func selectChecked(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// afterSelect: passing through a ctx-guarded select checks the context
+// for everything after it.
+func afterSelect(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return <-ch
+}
+
+// waitUnchecked parks on a WaitGroup with the ctx never consulted.
+func waitUnchecked(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "WaitGroup.Wait with no context check"
+}
+
+// waitChecked delegates ctx before waiting.
+func waitChecked(ctx context.Context, wg *sync.WaitGroup) {
+	touch(ctx)
+	wg.Wait()
+}
+
+// spinForever accepted a context it can never honor.
+func spinForever(ctx context.Context) {
+	n := 0
+	for { // want "loop has no exit"
+		n++
+	}
+}
+
+// loopWithExit leaves through the ctx case: clean.
+func loopWithExit(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// suppressedWait documents an accepted bounded wait.
+func suppressedWait(ctx context.Context, wg *sync.WaitGroup) {
+	//xbc:ignore ctxflow fixture: workers observe ctx, Wait is bounded by their exit
+	wg.Wait()
+}
+
+// --- rule B: shared channels ---
+
+// push sends on a struct-field channel with no escape hatch.
+func (s *S) push(v int) {
+	s.ch <- v // want "blocking send on shared channel S.ch outside any select"
+}
+
+// waitDone parks on a field channel.
+func (s *S) waitDone() {
+	<-s.done // want "blocking receive on shared channel S.done outside any select"
+}
+
+// pushCtx: rule B claims the op; rule A must not double-report it.
+func (s *S) pushCtx(ctx context.Context, v int) {
+	s.ch <- v // want "blocking send on shared channel S.ch"
+}
+
+// pushOrDrop wraps the send in a select: exempt.
+func (s *S) pushOrDrop(v int) bool {
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// local channels pair up in plain sight: exempt.
+func local() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}
+
+// drain ranges over the shared channel: close is the protocol.
+func (s *S) drain() int {
+	n := 0
+	for v := range s.ch {
+		n += v
+	}
+	return n
+}
+
+var pkgCh = make(chan int)
+
+// pkgSend blocks on a package-level channel.
+func pkgSend(v int) {
+	pkgCh <- v // want "blocking send on shared channel a.pkgCh"
+}
+
+// joinSuppressed documents an accepted bare receive.
+func (s *S) joinSuppressed() {
+	//xbc:ignore ctxflow fixture: partner goroutine provably sends exactly once
+	<-s.done
+}

@@ -1,0 +1,77 @@
+// Package dataflow runs forward dataflow problems over a cfg.Graph: a
+// worklist fixpoint with a caller-supplied transfer function and lattice
+// join. The engine is generic over the fact type; the only contract is
+// that Join and Transfer are monotone and treat facts as immutable (a
+// transfer must not mutate its input — copy, then change).
+//
+// Both may-analyses (join = union, facts grow) and must-analyses
+// (join = intersection, facts shrink) converge here: facts flow into a
+// successor by joining the predecessor's out-fact into the successor's
+// accumulated in-fact, and re-running whenever it changes.
+package dataflow
+
+import "xbc/internal/lint/cfg"
+
+// Problem defines a forward dataflow problem.
+type Problem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Transfer computes the out-fact of a block from its in-fact. It is
+	// called once per visit; it must not mutate in.
+	Transfer func(b *cfg.Block, in F) F
+	// Join combines facts arriving on two edges.
+	Join func(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// fixpoint stops refining a block when its in-fact stops changing.
+	Equal func(a, b F) bool
+}
+
+// Result holds the per-block facts of a converged run. Blocks
+// unreachable from entry are absent from both maps.
+type Result[F any] struct {
+	In  map[*cfg.Block]F // fact on entry to the block
+	Out map[*cfg.Block]F // fact after the block's transfer
+}
+
+// Forward runs the problem to fixpoint and returns per-block facts.
+func Forward[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	res.In[g.Entry] = p.Entry
+
+	inQueue := make(map[*cfg.Block]bool, len(g.Blocks))
+	queue := []*cfg.Block{g.Entry}
+	inQueue[g.Entry] = true
+
+	// The lattice is finite in practice (facts derived from a finite
+	// function body) and Transfer/Join are monotone, so the fixpoint
+	// terminates; the cap is a backstop against a non-monotone client.
+	budget := (len(g.Blocks) + 1) * 64
+	for len(queue) > 0 && budget > 0 {
+		budget--
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		out := p.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for _, s := range b.Succs {
+			prev, seen := res.In[s]
+			next := out
+			if seen {
+				next = p.Join(prev, out)
+				if p.Equal(prev, next) {
+					continue
+				}
+			}
+			res.In[s] = next
+			if !inQueue[s] {
+				inQueue[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res
+}

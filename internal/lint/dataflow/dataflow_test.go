@@ -1,0 +1,168 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"xbc/internal/lint/cfg"
+)
+
+func buildGraph(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// setOf is a tiny immutable string-set fact for tests.
+type setOf map[string]bool
+
+func (s setOf) with(k string) setOf {
+	n := make(setOf, len(s)+1)
+	for k2 := range s {
+		n[k2] = true
+	}
+	n[k] = true
+	return n
+}
+
+func union(a, b setOf) setOf {
+	n := make(setOf, len(a)+len(b))
+	for k := range a {
+		n[k] = true
+	}
+	for k := range b {
+		n[k] = true
+	}
+	return n
+}
+
+func intersect(a, b setOf) setOf {
+	n := setOf{}
+	for k := range a {
+		if b[k] {
+			n[k] = true
+		}
+	}
+	return n
+}
+
+func equal(a, b setOf) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// assignedNames gathers the variables a block's nodes assign with :=.
+func assignedNames(b *cfg.Block, in setOf) setOf {
+	out := in
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				out = out.with(id.Name)
+			}
+		}
+	}
+	return out
+}
+
+// TestMustAnalysisIntersectsBranches: a variable defined on only one arm
+// of an if is NOT definitely-assigned at the join under intersection.
+func TestMustAnalysisIntersectsBranches(t *testing.T) {
+	g := buildGraph(t, "a := 1\nif a > 0 { b := 2; _ = b }\n_ = a")
+	res := Forward(g, Problem[setOf]{
+		Entry:    setOf{},
+		Transfer: assignedNames,
+		Join:     intersect,
+		Equal:    equal,
+	})
+	exitIn, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("no fact at exit")
+	}
+	if !exitIn["a"] {
+		t.Errorf("a assigned on all paths, missing from exit fact %v", exitIn)
+	}
+	if exitIn["b"] {
+		t.Errorf("b assigned on one arm only, must not be in exit fact %v", exitIn)
+	}
+}
+
+// TestMayAnalysisUnionsBranches: under union the one-arm definition IS
+// visible at exit.
+func TestMayAnalysisUnionsBranches(t *testing.T) {
+	g := buildGraph(t, "a := 1\nif a > 0 { b := 2; _ = b }\n_ = a")
+	res := Forward(g, Problem[setOf]{
+		Entry:    setOf{},
+		Transfer: assignedNames,
+		Join:     union,
+		Equal:    equal,
+	})
+	exitIn := res.In[g.Exit]
+	if !exitIn["a"] || !exitIn["b"] {
+		t.Errorf("union fact at exit should hold a and b, got %v", exitIn)
+	}
+}
+
+// TestLoopFixpoint: facts flowing around a loop converge, and a
+// definition inside the loop body reaches the loop head via the back
+// edge under union.
+func TestLoopFixpoint(t *testing.T) {
+	g := buildGraph(t, "a := 1\nfor a < 10 { b := a; _ = b; a++ }\n_ = a")
+	res := Forward(g, Problem[setOf]{
+		Entry:    setOf{},
+		Transfer: assignedNames,
+		Join:     union,
+		Equal:    equal,
+	})
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", g)
+	}
+	if !res.In[head]["b"] {
+		t.Errorf("loop-body definition must reach the head via the back edge, got %v", res.In[head])
+	}
+}
+
+// TestUnreachableBlocksSkipped: statements after return get no facts.
+func TestUnreachableBlocksSkipped(t *testing.T) {
+	g := buildGraph(t, "return\na := 1\n_ = a")
+	res := Forward(g, Problem[setOf]{
+		Entry:    setOf{},
+		Transfer: assignedNames,
+		Join:     union,
+		Equal:    equal,
+	})
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 0 {
+			continue
+		}
+		if _, isRet := b.Nodes[0].(*ast.ReturnStmt); isRet {
+			continue
+		}
+		if _, ok := res.In[b]; ok {
+			t.Errorf("unreachable block b%d has a fact", b.Index)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package goroleak reports go statements that start a goroutine with no
+// termination path. The check is CFG reachability over the spawned
+// body: if the synthetic exit is unreachable from entry — every path
+// ends in an exitless infinite loop or an empty select — nothing the
+// rest of the program does (short of exiting the process) ever stops the
+// goroutine, and each spawn leaks a stack for the process lifetime.
+//
+// Worker-loop idioms pass naturally: ranging over a channel terminates
+// when the channel closes, a for-select with a done/ctx return case has
+// an exit edge, a bounded loop falls out. Only bodies resolvable in the
+// same package are checked (a function literal, or a go'd call to a
+// same-package function or method); spawning an external function is
+// trusted.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/cfg"
+)
+
+// Analyzer is the goroleak check.
+var Analyzer = &lint.Analyzer{
+	Name:  "goroleak",
+	Doc:   "reports go statements whose goroutine body has no reachable termination: no path leaves its loops, so the goroutine can only die with the process",
+	Match: func(string) bool { return true },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+
+	// Same-package function declarations, for resolving go f(...) spawns.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := spawnedBody(info, decls, g)
+		if body == nil {
+			return true
+		}
+		graph := cfg.New(body)
+		if !reaches(graph.Entry, graph.Exit) {
+			pass.Reportf(g.Pos(), "goroutine started here has no termination path: no path out of its loops reaches a return, so it can only die with the process (range a closable channel, add a done/ctx exit, or bound the loop)")
+		}
+		return true
+	})
+}
+
+// spawnedBody resolves the body the go statement runs: an inline
+// function literal, or a same-package function/method declaration.
+func spawnedBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	var id *ast.Ident
+	switch fun := g.Call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if fd := decls[fn]; fd != nil {
+		return fd.Body
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{from: true}
+	work := []*cfg.Block{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}

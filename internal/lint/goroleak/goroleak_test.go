@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/goroleak"
+	"xbc/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, goroleak.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,145 @@
+// Fixture for the goroleak analyzer: goroutines with no termination
+// path, and the worker idioms that must stay clean.
+package a
+
+import "context"
+
+type W struct {
+	jobs chan int
+	stop chan struct{}
+}
+
+// spinLit spawns a literal that can never stop.
+func spinLit() {
+	go func() { // want "no termination path"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// emptySelect blocks forever by construction.
+func emptySelect() {
+	go func() { // want "no termination path"
+		select {}
+	}()
+}
+
+// forSelectNoExit loops over a select none of whose cases leave.
+func (w *W) forSelectNoExit() {
+	go func() { // want "no termination path"
+		for {
+			select {
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// spinDecl spawns a same-package function with no exit.
+func spinDecl() {
+	go hotLoop() // want "no termination path"
+}
+
+func hotLoop() {
+	for {
+	}
+}
+
+// suppressedSpin documents an accepted process-lifetime goroutine.
+func suppressedSpin() {
+	//xbc:ignore goroleak fixture: process-lifetime pump, dies with the process by design
+	go func() {
+		for {
+		}
+	}()
+}
+
+// --- clean shapes ---
+
+// worker ranges over the jobs channel: close(jobs) terminates it.
+func (w *W) worker() {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+// methodWorker spawns a method whose body ranges a channel.
+func (w *W) methodWorker() {
+	go w.drain()
+}
+
+func (w *W) drain() {
+	for j := range w.jobs {
+		_ = j
+	}
+}
+
+// stopable selects on a stop channel and returns.
+func (w *W) stopable() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				_ = j
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// ctxLoop exits when the context is done.
+func ctxLoop(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				_ = j
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// bounded loops fall out on their own.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// breakOut leaves the infinite loop through a conditional break.
+func breakOut(jobs chan int) {
+	go func() {
+		for {
+			j, ok := <-jobs
+			if !ok {
+				break
+			}
+			_ = j
+		}
+	}()
+}
+
+// oneShot runs straight through: trivially terminates.
+func oneShot(results chan<- int) {
+	go func() {
+		select {
+		case results <- 1:
+		default:
+		}
+	}()
+}
+
+// external spawns an unresolvable callee: trusted.
+func external(f func()) {
+	go f()
+}

@@ -70,25 +70,82 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// Finding is one diagnostic plus its suppression state: the driver and
+// the structured output formats need to see suppressed findings (and the
+// justification that silenced them), not just the survivors.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+	Reason     string // the directive's justification when Suppressed
+}
+
 // Analyze runs the analyzer over pkg and returns its findings with
-// suppressed diagnostics filtered out and malformed directives reported.
+// suppressed diagnostics filtered out; directive hygiene findings
+// (malformed or stale //xbc:ignore) are included under the "directive"
+// analyzer name.
 func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
-	pass := &Pass{Pkg: pkg, name: a.Name}
-	a.Run(pass)
-	dirs := directivesOf(pkg)
-	// out must not alias pass.diags: the malformed-directive findings are
-	// prepended, and a shared backing array would overwrite real findings
-	// before the filter loop reads them.
-	out := make([]Diagnostic, 0, len(pass.diags)+len(dirs.malformed))
-	for _, d := range dirs.malformed {
-		// Malformed directives surface once, from whichever analyzer
-		// runs; the driver deduplicates identical findings.
-		out = append(out, Diagnostic{Pos: d, Analyzer: "directive",
-			Message: "//xbc:ignore needs an analyzer name and a justification: //xbc:ignore <analyzer> <reason>"})
+	var out []Diagnostic
+	for _, f := range RunAnalyzers(pkg, []*Analyzer{a}, nil) {
+		if !f.Suppressed {
+			out = append(out, f.Diagnostic)
+		}
 	}
-	for _, d := range pass.diags {
-		if !dirs.suppresses(a.Name, d.Pos) {
-			out = append(out, d)
+	return out
+}
+
+// RunAnalyzers runs the analyzers over pkg and returns every finding,
+// suppressed ones included and marked. Directive hygiene is part of the
+// result, reported under the "directive" analyzer:
+//
+//   - a reason-less //xbc:ignore is malformed (and suppresses nothing);
+//   - a directive naming an analyzer that ran here yet suppressed no
+//     finding is stale — the code it excused has moved or been fixed,
+//     and keeping it would let future findings slip through silently;
+//   - when known is non-nil, a directive naming an analyzer outside
+//     that registry is a typo that would never suppress anything.
+//
+// Stale detection is deliberately scoped to analyzers that actually ran:
+// running a subset (xbclint -run lockorder) must not condemn the other
+// analyzers' directives.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, known []string) []Finding {
+	ds := directivesOf(pkg)
+	var out []Finding
+	for _, p := range ds.malformed {
+		// Malformed directives surface once per package run; the driver
+		// deduplicates identical findings across pattern overlaps.
+		out = append(out, Finding{Diagnostic: Diagnostic{Pos: p, Analyzer: "directive",
+			Message: "//xbc:ignore needs an analyzer name and a justification: //xbc:ignore <analyzer> <reason>"}})
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{Pkg: pkg, name: a.Name}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if dir := ds.suppressing(a.Name, d.Pos); dir != nil {
+				dir.used = true
+				out = append(out, Finding{Diagnostic: d, Suppressed: true, Reason: dir.reason})
+			} else {
+				out = append(out, Finding{Diagnostic: d})
+			}
+		}
+	}
+	var knownSet map[string]bool
+	if known != nil {
+		knownSet = make(map[string]bool, len(known))
+		for _, k := range known {
+			knownSet[k] = true
+		}
+	}
+	for _, dir := range ds.all {
+		switch {
+		case dir.used:
+		case ran[dir.analyzer]:
+			out = append(out, Finding{Diagnostic: Diagnostic{Pos: dir.pos, Analyzer: "directive",
+				Message: fmt.Sprintf("stale //xbc:ignore %s: the analyzer ran and this directive suppressed nothing; delete it, or fix it if the finding moved", dir.analyzer)}})
+		case knownSet != nil && !knownSet[dir.analyzer]:
+			out = append(out, Finding{Diagnostic: Diagnostic{Pos: dir.pos, Analyzer: "directive",
+				Message: fmt.Sprintf("//xbc:ignore names unknown analyzer %q; it can never suppress anything", dir.analyzer)}})
 		}
 	}
 	return out
@@ -96,34 +153,38 @@ func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
 
 // ignoreDirective is one parsed //xbc:ignore comment.
 type ignoreDirective struct {
-	file     string
-	line     int
+	pos      token.Position
 	analyzer string
+	reason   string
+	used     bool // suppressed at least one finding this run
 }
 
 // directives indexes a package's suppression comments.
 type directives struct {
-	byLine    map[string]map[int][]string // file -> line -> analyzer names
+	byLine    map[string]map[int][]*ignoreDirective // file -> line -> directives
+	all       []*ignoreDirective
 	malformed []token.Position
 }
 
-func (ds *directives) suppresses(analyzer string, pos token.Position) bool {
+// suppressing returns the directive covering a finding at pos (same line
+// or the line above), or nil.
+func (ds *directives) suppressing(analyzer string, pos token.Position) *ignoreDirective {
 	lines := ds.byLine[pos.Filename]
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == analyzer {
-				return true
+		for _, d := range lines[l] {
+			if d.analyzer == analyzer {
+				return d
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 const ignorePrefix = "//xbc:ignore"
 
 // directivesOf parses every //xbc:ignore comment in the package.
 func directivesOf(pkg *Package) *directives {
-	ds := &directives{byLine: make(map[string]map[int][]string)}
+	ds := &directives{byLine: make(map[string]map[int][]*ignoreDirective)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -140,12 +201,18 @@ func directivesOf(pkg *Package) *directives {
 					ds.malformed = append(ds.malformed, pos)
 					continue
 				}
+				d := &ignoreDirective{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				}
 				m := ds.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*ignoreDirective)
 					ds.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], fields[0])
+				m[pos.Line] = append(m[pos.Line], d)
+				ds.all = append(ds.all, d)
 			}
 		}
 	}

@@ -55,3 +55,69 @@ func TestAnalyzeMalformedDirective(t *testing.T) {
 		t.Errorf("call findings = %d, want 2 (malformed directive must not suppress; justified one must)", calls)
 	}
 }
+
+// A directive whose analyzer ran but which suppressed nothing is stale
+// and must be reported; the directive that did suppress a finding must
+// stay silent, and the suppressed finding must come back marked with its
+// justification.
+func TestRunAnalyzersStaleDirective(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds := RunAnalyzers(pkg, []*Analyzer{callFlagger}, []string{"calls"})
+
+	var stale, suppressed, plain int
+	for _, f := range finds {
+		switch {
+		case f.Analyzer == "directive":
+			if !strings.Contains(f.Message, "stale") {
+				t.Errorf("directive finding message = %q, want stale report", f.Message)
+			}
+			stale++
+		case f.Suppressed:
+			if f.Reason != "justified; fixture call deliberately suppressed" {
+				t.Errorf("suppressed finding reason = %q", f.Reason)
+			}
+			suppressed++
+		default:
+			plain++
+		}
+	}
+	if stale != 1 {
+		t.Errorf("stale directive findings = %d, want 1", stale)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings = %d, want 1", suppressed)
+	}
+	if plain != 0 {
+		t.Errorf("unsuppressed call findings = %d, want 0", plain)
+	}
+}
+
+// A directive naming an analyzer outside the known registry is a typo
+// that can never suppress anything; with a nil registry (fixture runs)
+// the same directive is left alone.
+func TestRunAnalyzersUnknownAnalyzer(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finds := RunAnalyzers(pkg, []*Analyzer{callFlagger}, []string{"calls"})
+	var unknown int
+	for _, f := range finds {
+		if f.Analyzer == "directive" && strings.Contains(f.Message, "unknown analyzer") {
+			unknown++
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer findings = %d, want 1", unknown)
+	}
+
+	for _, f := range RunAnalyzers(pkg, []*Analyzer{callFlagger}, nil) {
+		if f.Analyzer == "directive" {
+			t.Errorf("nil registry must not audit analyzer names, got %q", f.Message)
+		}
+	}
+}

@@ -12,11 +12,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
 type Package struct {
-	Path  string // import path ("xbc/internal/xbcore"; fixtures use their dir base)
+	Path  string // import path ("xbc/internal/xbcore"; fixtures use their absolute dir)
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -34,10 +35,17 @@ type Loader struct {
 	ModRoot string
 	ModPath string
 
-	pkgs    map[string]*Package
-	loading map[string]bool
-	std     types.ImporterFrom
+	pkgs       map[string]*Package
+	loading    map[string]bool
+	typechecks map[string]int
+	std        types.ImporterFrom
 }
+
+// TypeChecks reports how many times the loader has parsed and
+// type-checked the package from scratch. Anything above one for a given
+// path means the memoization regressed and the driver is re-doing the
+// most expensive step of a lint run per dependent package.
+func (l *Loader) TypeChecks(importPath string) int { return l.typechecks[importPath] }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
 // walking up to the nearest go.mod).
@@ -63,11 +71,12 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	l := &Loader{
-		Fset:    fset,
-		ModRoot: root,
-		ModPath: modPath,
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		Fset:       fset,
+		ModRoot:    root,
+		ModPath:    modPath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		typechecks: make(map[string]int),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
@@ -119,6 +128,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	l.loading[importPath] = true
 	defer delete(l.loading, importPath)
+	l.typechecks[importPath]++
 
 	names, err := goFilesIn(dir)
 	if err != nil {
@@ -246,17 +256,39 @@ func (l *Loader) loadAll() ([]*Package, error) {
 	return pkgs, nil
 }
 
+// fixtureLoader is the process-wide loader behind LoadFixture. Fixtures
+// only import the standard library, and the source importer re-compiles
+// GOROOT packages from scratch per importer instance — a fresh loader
+// per fixture made every fixture suite pay the full sync/context/fmt
+// type-check again. One shared instance amortizes that to once per test
+// binary. Fixture packages are keyed (and import-path'd) by absolute
+// directory, since distinct analyzers all name their fixture dir "a".
+var (
+	fixtureMu     sync.Mutex
+	fixtureLoader *Loader
+)
+
 // LoadFixture parses and type-checks a fixture directory as a standalone
-// package (stdlib imports only), for the linttest harness.
+// package (stdlib imports only), for the linttest harness. Results are
+// memoized process-wide by absolute path.
 func LoadFixture(dir string) (*Package, error) {
-	fset := token.NewFileSet()
-	l := &Loader{
-		Fset:    fset,
-		ModRoot: dir,
-		ModPath: "\x00none", // no module-internal imports in fixtures
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
 	}
-	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	return l.LoadDir(dir, filepath.Base(dir))
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if fixtureLoader == nil {
+		fset := token.NewFileSet()
+		fixtureLoader = &Loader{
+			Fset:       fset,
+			ModRoot:    abs,
+			ModPath:    "\x00none", // no module-internal imports in fixtures
+			pkgs:       make(map[string]*Package),
+			loading:    make(map[string]bool),
+			typechecks: make(map[string]int),
+		}
+		fixtureLoader.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	}
+	return fixtureLoader.LoadDir(abs, abs)
 }

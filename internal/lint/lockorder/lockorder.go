@@ -1,0 +1,383 @@
+// Package lockorder builds a per-package lock-acquisition graph from
+// sync.Mutex/RWMutex method calls and reports orderings that can
+// deadlock. Lock identity is the lock class (struct field "Type.field",
+// package var, or declaration-pinned local — see internal/lint/lockset),
+// so the rules are properties of the code shape, not of one instance:
+//
+//   - re-acquiring a lock already held on some path (self-deadlock for
+//     an aliasing receiver, an undefined two-instance order otherwise);
+//   - calling, while holding a lock, a same-package function that may
+//     acquire that same lock (transitive self-deadlock);
+//   - a pair of locks acquired in both orders anywhere in the package
+//     (a lock-order cycle: two goroutines taking opposite orders can
+//     deadlock even though each path looks locally correct);
+//   - a lock that may still be held at some return with no deferred
+//     unlock (the caller inherits a silently held mutex).
+//
+// Held sets are may-analysis facts from a CFG dataflow, so a hazard on
+// any path is reported even when other paths are clean.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/lockset"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &lint.Analyzer{
+	Name:  "lockorder",
+	Doc:   "reports lock-order cycles, re-acquisition of held mutexes (directly or through same-package calls), and locks held at return without a deferred unlock",
+	Match: func(string) bool { return true },
+	Run:   run,
+}
+
+// edge is one observed acquisition order: to was acquired while from was
+// held, first witnessed at pos.
+type edge struct {
+	pos token.Pos
+	via string // "" for a direct acquire, else the called function's name
+}
+
+func run(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	fset := pass.Fset()
+
+	// Function declarations by object, for resolving same-package calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var declOrder []*types.Func
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+				declOrder = append(declOrder, fn)
+			}
+		}
+	}
+
+	// Transitive may-acquire summaries: the lock classes a call to fn can
+	// take, directly or through same-package callees, to fixpoint.
+	trans := map[*types.Func]map[lockset.ID]bool{}
+	for _, fn := range declOrder {
+		trans[fn] = directAcquires(fset, info, decls[fn].Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range declOrder {
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(info, call)
+				if callee == nil || callee == fn {
+					return true
+				}
+				for id := range trans[callee] {
+					if !trans[fn][id] {
+						trans[fn][id] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Analyze every function unit — declarations and literals — for held
+	// sets, collecting order edges package-wide.
+	edges := map[lockset.ID]map[lockset.ID]edge{}
+	addEdge := func(from, to lockset.ID, pos token.Pos, via string) {
+		m := edges[from]
+		if m == nil {
+			m = map[lockset.ID]edge{}
+			edges[from] = m
+		}
+		if old, ok := m[to]; !ok || pos < old.pos {
+			m[to] = edge{pos: pos, via: via}
+		}
+	}
+
+	units := functionUnits(pass.Pkg.Files, info)
+	for _, u := range units {
+		res := lockset.Analyze(pass.Pkg, u.body)
+		res.WalkNodes(func(held lockset.Set, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if op, ok := lockset.MutexOp(fset, info, call); ok {
+				if !op.Kind.Acquires() {
+					return
+				}
+				if _, already := held[op.ID]; already {
+					pass.Reportf(call.Pos(), "%s of %s while it is already held (self-deadlock if the receivers alias; an undefined two-instance order otherwise)", op.Kind, op.ID)
+				}
+				for from := range held {
+					if from != op.ID {
+						addEdge(from, op.ID, call.Pos(), "")
+					}
+				}
+				return
+			}
+			if len(held) == 0 {
+				return
+			}
+			callee := staticCallee(info, call)
+			if callee == nil {
+				return
+			}
+			acq := trans[callee]
+			if len(acq) == 0 {
+				return
+			}
+			var ids []lockset.ID
+			for id := range acq {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				if _, already := held[id]; already {
+					pass.Reportf(call.Pos(), "call to %s may acquire %s, which is already held here (transitive self-deadlock)", callee.Name(), id)
+					continue
+				}
+				for from := range held {
+					if from != id {
+						addEdge(from, id, call.Pos(), callee.Name())
+					}
+				}
+			}
+		})
+
+		// Unlock-on-every-path: a lock still may-held at exit with no
+		// deferred release leaks to the caller.
+		exitHeld := []lockset.ID{}
+		for id := range res.Exit {
+			if !res.DeferReleased[id] {
+				exitHeld = append(exitHeld, id)
+			}
+		}
+		sort.Slice(exitHeld, func(i, j int) bool { return exitHeld[i] < exitHeld[j] })
+		for _, id := range exitHeld {
+			pass.Reportf(res.Exit[id], "%s acquired here may still be held at some return; unlock on every path or defer the unlock", id)
+		}
+	}
+
+	reportCycles(pass, edges)
+}
+
+// unit is one function body to analyze: a declaration or a literal.
+type unit struct {
+	body *ast.BlockStmt
+}
+
+// functionUnits returns every function body in source order: top-level
+// declarations plus each function literal (whose body the enclosing
+// function's analysis skips).
+func functionUnits(files []*ast.File, info *types.Info) []unit {
+	var units []unit
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					units = append(units, unit{body: n.Body})
+				}
+			case *ast.FuncLit:
+				units = append(units, unit{body: n.Body})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// directAcquires gathers the lock classes a body acquires directly,
+// excluding function literals (they run on their own schedule).
+func directAcquires(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) map[lockset.ID]bool {
+	out := map[lockset.ID]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := lockset.MutexOp(fset, info, call); ok && op.Kind.Acquires() {
+				out[op.ID] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// staticCallee resolves a call to a same-package function or method
+// declaration, or nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// reportCycles finds strongly connected components of the order graph
+// and reports every edge participating in one.
+func reportCycles(pass *lint.Pass, edges map[lockset.ID]map[lockset.ID]edge) {
+	var nodes []lockset.ID
+	seen := map[lockset.ID]bool{}
+	add := func(id lockset.ID) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	for from, m := range edges {
+		add(from)
+		for to := range m {
+			add(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	succs := func(id lockset.ID) []lockset.ID {
+		var out []lockset.ID
+		for to := range edges[id] {
+			out = append(out, to)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	scc := tarjan(nodes, succs)
+
+	for _, from := range nodes {
+		for _, to := range succs(from) {
+			if scc[from] != scc[to] {
+				continue
+			}
+			e := edges[from][to]
+			cyc := cyclePath(from, to, succs, scc)
+			msg := fmt.Sprintf("acquiring %s while holding %s conflicts with the reverse order elsewhere in the package (cycle: %s)", to, from, cyc)
+			if e.via != "" {
+				msg = fmt.Sprintf("call to %s acquires %s while %s is held, conflicting with the reverse order elsewhere (cycle: %s)", e.via, to, from, cyc)
+			}
+			pass.Reportf(e.pos, "%s", msg)
+		}
+	}
+}
+
+// cyclePath renders "from -> to -> ... -> from" following intra-SCC
+// edges from to back to from.
+func cyclePath(from, to lockset.ID, succs func(lockset.ID) []lockset.ID, scc map[lockset.ID]int) string {
+	path := []lockset.ID{from, to}
+	visited := map[lockset.ID]bool{from: true, to: true}
+	curr := to
+	for curr != from {
+		advanced := false
+		for _, nxt := range succs(curr) {
+			if scc[nxt] != scc[from] {
+				continue
+			}
+			if nxt == from {
+				curr = from
+				advanced = true
+				break
+			}
+			if !visited[nxt] {
+				visited[nxt] = true
+				path = append(path, nxt)
+				curr = nxt
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break // defensive; an SCC always closes the walk
+		}
+	}
+	parts := make([]string, 0, len(path)+1)
+	for _, id := range path {
+		parts = append(parts, string(id))
+	}
+	parts = append(parts, string(from))
+	return strings.Join(parts, " -> ")
+}
+
+// tarjan assigns each node its strongly-connected-component index,
+// iteratively to stay stack-safe on large graphs.
+func tarjan(nodes []lockset.ID, succs func(lockset.ID) []lockset.ID) map[lockset.ID]int {
+	index := map[lockset.ID]int{}
+	low := map[lockset.ID]int{}
+	onStack := map[lockset.ID]bool{}
+	comp := map[lockset.ID]int{}
+	var stack []lockset.ID
+	next, ncomp := 0, 0
+
+	type frame struct {
+		v  lockset.ID
+		ss []lockset.ID
+		i  int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{v: root, ss: succs(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.ss) {
+				w := f.ss[f.i]
+				f.i++
+				if _, ok := index[w]; !ok {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w, ss: succs(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == f.v {
+						break
+					}
+				}
+				ncomp++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := &work[len(work)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"xbc/internal/lint/linttest"
+	"xbc/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/src/a")
+}

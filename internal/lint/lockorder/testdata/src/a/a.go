@@ -1,0 +1,172 @@
+// Fixture for the lockorder analyzer: lock-order cycles, self
+// re-acquisition (direct, via loops, via same-package calls), missing
+// unlock on a path, and the shapes that must stay clean.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab and ba take the two locks in opposite orders: a classic ordering
+// cycle. Both acquisition sites are implicated.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "conflicts with the reverse order"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "conflicts with the reverse order"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// double re-locks a held mutex: deadlock when the receivers alias.
+func double(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "while it is already held"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockA is a helper whose lock is visible in call summaries.
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// callsLockA holds A.mu across a call that takes it again.
+func callsLockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockA(a) // want "transitive self-deadlock"
+}
+
+// leaky forgets the unlock on the early-return path.
+func leaky(a *A, x bool) {
+	a.mu.Lock() // want "may still be held at some return"
+	if x {
+		return
+	}
+	a.mu.Unlock()
+}
+
+// loopLeak re-locks on the continue path: iteration two deadlocks. The
+// may-held loop exit also leaves the lock held at return.
+func loopLeak(a *A, xs []int) {
+	for _, x := range xs {
+		a.mu.Lock() // want "while it is already held" "may still be held at some return"
+		if x == 0 {
+			continue
+		}
+		a.mu.Unlock()
+	}
+}
+
+type E struct{ sync.Mutex }
+
+// embedded locks through the promoted method; identity is E.Mutex.
+func embedded(e *E) {
+	e.Lock()
+	e.Lock() // want "Lock of E.Mutex while it is already held"
+	e.Unlock()
+	e.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+// rlockTwice: a second RLock can deadlock against a writer queued
+// between the two read acquisitions.
+func rlockTwice(r *R) {
+	r.mu.RLock()
+	r.mu.RLock() // want "RLock of R.mu while it is already held"
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+// suppressedDouble documents an accepted re-lock.
+func suppressedDouble(a *A) {
+	a.mu.Lock()
+	//xbc:ignore lockorder fixture: deliberate re-lock to prove suppression works
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// --- clean shapes below: no findings expected ---
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// consistent1/consistent2 nest C before D everywhere: an order, not a
+// cycle.
+func consistent1(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func consistent2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// branches releases on every path.
+func branches(a *A, x bool) {
+	a.mu.Lock()
+	if x {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// deferred releases by defer: held through the function by design.
+func deferred(a *A) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return 1
+}
+
+// spawned goroutines hold nothing of the spawner's: the literal is its
+// own function and its lock nests under nothing here.
+func spawned(a *A) {
+	a.mu.Lock()
+	go func() {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+	a.mu.Unlock()
+}
+
+// sequential takes the same two locks the cycle pair uses, but never
+// nested, so it adds no edges.
+func sequential(c *C, d *D) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// unlockedCall drops the lock before calling the helper that retakes it.
+func unlockedCall(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	lockA(a)
+}
+
+var gmu sync.Mutex
+
+// pkgLevel uses a package-scope mutex correctly.
+func pkgLevel() {
+	gmu.Lock()
+	defer gmu.Unlock()
+}

@@ -1,0 +1,381 @@
+// Package lockset computes may-held mutex sets over one function body,
+// shared by the lockorder and atomicmix analyzers. A lock is identified
+// by where it lives, not which instance holds it: a struct field is
+// "Type.field", a package-level var is "pkg.name", a local is pinned to
+// its declaration position. Two instances of the same type share an ID —
+// deliberately, since a lock-order rule is a property of the lock class
+// (every Server orders Server.mu before Job.mu), not of one instance.
+//
+// The analysis is a forward may-analysis (union join): a lock is in the
+// set at a node if some path reaches the node with it held. Deferred
+// unlocks do not remove the lock during flow — they run at return — but
+// are recorded so exit checks can treat defer as releasing on every
+// path. sync.TryLock/TryRLock are ignored (conditional acquisition).
+package lockset
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"xbc/internal/lint"
+	"xbc/internal/lint/cfg"
+	"xbc/internal/lint/dataflow"
+)
+
+// ID names a lock class. See the package comment for the forms.
+type ID string
+
+// OpKind classifies a mutex method call.
+type OpKind int
+
+const (
+	OpLock OpKind = iota
+	OpRLock
+	OpUnlock
+	OpRUnlock
+)
+
+// Acquires reports whether the op adds the lock to the held set.
+func (k OpKind) Acquires() bool { return k == OpLock || k == OpRLock }
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLock:
+		return "Lock"
+	case OpRLock:
+		return "RLock"
+	case OpUnlock:
+		return "Unlock"
+	default:
+		return "RUnlock"
+	}
+}
+
+// Op is one mutex method call resolved to a lock ID.
+type Op struct {
+	ID   ID
+	Kind OpKind
+	Call *ast.CallExpr
+}
+
+// Set maps each held lock to the position of the acquisition that put it
+// in the set (the earliest across joined paths, for stable reports).
+type Set map[ID]token.Pos
+
+func (s Set) with(id ID, pos token.Pos) Set {
+	n := make(Set, len(s)+1)
+	for k, v := range s {
+		n[k] = v
+	}
+	n[id] = pos
+	return n
+}
+
+func (s Set) without(id ID) Set {
+	if _, ok := s[id]; !ok {
+		return s
+	}
+	n := make(Set, len(s))
+	for k, v := range s {
+		if k != id {
+			n[k] = v
+		}
+	}
+	return n
+}
+
+// IDs returns the held lock IDs in sorted order.
+func (s Set) IDs() []ID {
+	ids := make([]ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func join(a, b Set) Set {
+	n := make(Set, len(a)+len(b))
+	for k, v := range a {
+		n[k] = v
+	}
+	for k, v := range b {
+		if old, ok := n[k]; !ok || v < old {
+			n[k] = v
+		}
+	}
+	return n
+}
+
+func equal(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if v2, ok := b[k]; !ok || v2 != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the converged analysis of one function body.
+type Result struct {
+	// Exit is the may-held set at function exit (some return path leaves
+	// these locks held), before deferred unlocks run.
+	Exit Set
+	// DeferReleased holds the lock IDs some defer statement unlocks.
+	DeferReleased map[ID]bool
+
+	fset  *token.FileSet
+	info  *types.Info
+	graph *cfg.Graph
+	in    map[*cfg.Block]Set
+}
+
+// Analyze runs the held-set analysis over body.
+func Analyze(pkg *lint.Package, body *ast.BlockStmt) *Result {
+	r := &Result{
+		DeferReleased: map[ID]bool{},
+		fset:          pkg.Fset,
+		info:          pkg.Info,
+		graph:         cfg.New(body),
+	}
+	flow := dataflow.Forward(r.graph, dataflow.Problem[Set]{
+		Entry: Set{},
+		Transfer: func(b *cfg.Block, in Set) Set {
+			held := in
+			for _, n := range b.Nodes {
+				held = r.scan(n, held, nil)
+			}
+			return held
+		},
+		Join:  join,
+		Equal: equal,
+	})
+	r.in = flow.In
+	if exit, ok := flow.In[r.graph.Exit]; ok {
+		r.Exit = exit
+	} else {
+		r.Exit = Set{}
+	}
+	return r
+}
+
+// WalkNodes replays held sets over every reachable node of the body in
+// deterministic order: visit sees each AST node (pre-order within its
+// statement) with the set held at that point. Function literals are not
+// entered — a literal body is its own function.
+func (r *Result) WalkNodes(visit func(held Set, n ast.Node)) {
+	for _, b := range r.graph.Blocks {
+		in, ok := r.in[b]
+		if !ok {
+			continue // unreachable
+		}
+		held := in
+		for _, n := range b.Nodes {
+			held = r.scan(n, held, visit)
+		}
+	}
+}
+
+// scan walks one CFG node's subtree in source order, applying mutex
+// operations to the running held set. When visit is non-nil it is called
+// at every node with the set held just before that node executes.
+// Deferred and go'd calls do not change the flow-time set; deferred
+// unlocks are recorded in DeferReleased.
+func (r *Result) scan(node ast.Node, held Set, visit func(Set, ast.Node)) Set {
+	skip := map[*ast.CallExpr]bool{}
+	InspectNode(node, func(n ast.Node) bool {
+		if visit != nil {
+			visit(held, n)
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			skip[n.Call] = true
+			if op, ok := MutexOp(r.fset, r.info, n.Call); ok && !op.Kind.Acquires() {
+				r.DeferReleased[op.ID] = true
+			}
+		case *ast.GoStmt:
+			skip[n.Call] = true
+		case *ast.CallExpr:
+			if skip[n] {
+				return true
+			}
+			if op, ok := MutexOp(r.fset, r.info, n); ok {
+				if op.Kind.Acquires() {
+					held = held.with(op.ID, n.Pos())
+				} else {
+					held = held.without(op.ID)
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// InspectNode walks a CFG node's subtree the way flow-sensitive
+// consumers must: function literals are skipped (a literal's body is its
+// own function), SelectStmt nodes are visited but never entered (the
+// select is a marker in its head block; its comm statements and clause
+// bodies flow through the per-clause blocks), and a RangeStmt contributes
+// only its key/value/range expressions (the body statements live in their
+// own blocks). f's return value gates descent as in ast.Inspect.
+func InspectNode(node ast.Node, f func(ast.Node) bool) {
+	var walk func(ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				f(m)
+				return false
+			case *ast.RangeStmt:
+				if !f(m) {
+					return false
+				}
+				if m.Key != nil {
+					walk(m.Key)
+				}
+				if m.Value != nil {
+					walk(m.Value)
+				}
+				walk(m.X)
+				return false
+			}
+			return f(m)
+		})
+	}
+	walk(node)
+}
+
+// MutexOp resolves a call to a sync.Mutex/RWMutex (or sync.Locker)
+// Lock/RLock/Unlock/RUnlock method and identifies the lock it operates
+// on. TryLock variants and non-sync methods return ok=false.
+func MutexOp(fset *token.FileSet, info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	var kind OpKind
+	switch fn.Name() {
+	case "Lock":
+		kind = OpLock
+	case "RLock":
+		kind = OpRLock
+	case "Unlock":
+		kind = OpUnlock
+	case "RUnlock":
+		kind = OpRUnlock
+	default:
+		return Op{}, false
+	}
+	// An embedded mutex promotes the method: s.Lock() where s embeds
+	// sync.Mutex. The selection's index path names the embedded field,
+	// which is the lock's true home.
+	if msel, ok := info.Selections[sel]; ok {
+		recv := deref(msel.Recv())
+		if !isSyncMutex(recv) {
+			if idx := msel.Index(); len(idx) > 1 {
+				if st, ok := deref(recv).Underlying().(*types.Struct); ok && idx[0] < st.NumFields() {
+					return Op{ID: ID(typeName(recv) + "." + st.Field(idx[0]).Name()), Kind: kind, Call: call}, true
+				}
+			}
+			return Op{ID: ExprID(fset, info, sel.X), Kind: kind, Call: call}, true
+		}
+	}
+	return Op{ID: ExprID(fset, info, sel.X), Kind: kind, Call: call}, true
+}
+
+// ExprID names the lock class an expression denotes.
+func ExprID(fset *token.FileSet, info *types.Info, e ast.Expr) ID {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ExprID(fset, info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return ExprID(fset, info, e.X)
+		}
+	case *ast.StarExpr:
+		return ExprID(fset, info, e.X)
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			return ID(typeName(s.Recv()) + "." + s.Obj().Name())
+		}
+		// Package-qualified: pkg.Mu.
+		if obj := info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+			return ID(obj.Pkg().Name() + "." + obj.Name())
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return ID(obj.Pkg().Name() + "." + obj.Name())
+			}
+			// A local or parameter: pin to its declaration so same-named
+			// locals in different functions stay distinct.
+			pos := fset.Position(obj.Pos())
+			return ID(fmt.Sprintf("%s@%s:%d", obj.Name(), pos.Filename, pos.Line))
+		}
+	}
+	return ID(types.ExprString(e))
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+func isSyncMutex(t types.Type) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// typeName renders the defined type's bare name ("Server" for *Server).
+func typeName(t types.Type) string {
+	t = deref(t)
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// OwnerType returns the "Type" part of a field-form ID, or "" for
+// package-level and local locks. atomicmix uses it to match a held lock
+// to the struct owning a mixed-access field.
+func (id ID) OwnerType() string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' {
+			return string(id[:i])
+		}
+		if id[i] == '@' {
+			return ""
+		}
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+// Package stale exercises the stale-suppression audit: a directive
+// whose analyzer ran but which covers no finding must itself be
+// reported, while a directive that earns its keep stays silent.
+package stale
+
+func sideEffect() {}
+
+func f() {
+	//xbc:ignore calls justified; fixture call deliberately suppressed
+	sideEffect()
+
+	//xbc:ignore calls nothing on the next line triggers the analyzer
+	x := 1
+	_ = x
+}

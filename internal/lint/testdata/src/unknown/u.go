@@ -1,0 +1,10 @@
+// Package unknown exercises the registry audit: the directive below
+// names an analyzer that does not exist, so with a registry in hand it
+// must be flagged as a typo, and without one it must be left alone.
+package unknown
+
+func g() {
+	//xbc:ignore nosuchanalyzer typo that can never suppress anything
+	x := 1
+	_ = x
+}

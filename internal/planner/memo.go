@@ -2,6 +2,7 @@ package planner
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -92,8 +93,13 @@ func (m *Memo) put(key string, val any) {
 // or becomes the leader running fn. A leader's successful value lands in
 // the cache; failures and aborts are not cached, so a later plan retries.
 // Waiters surface a successful leader result as StatusCoalesced and
-// propagate failures/aborts as their own.
-func (m *Memo) do(key string, fn func() Result) Result {
+// propagate failures/aborts as their own; a waiter whose own context is
+// cancelled stops waiting and reports StatusAborted without disturbing
+// the leader.
+func (m *Memo) do(ctx context.Context, key string, fn func() Result) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m.mu.Lock()
 	if v, ok := m.get(key); ok {
 		m.mu.Unlock()
@@ -101,7 +107,11 @@ func (m *Memo) do(key string, fn func() Result) Result {
 	}
 	if fc, ok := m.flight[key]; ok {
 		m.mu.Unlock()
-		<-fc.done
+		select {
+		case <-fc.done:
+		case <-ctx.Done():
+			return Result{Status: StatusAborted}
+		}
 		r := fc.res
 		// The leader reported the run against its own plan's report; this
 		// waiter's cell still needs a synthesized row in its plan.
@@ -115,15 +125,20 @@ func (m *Memo) do(key string, fn func() Result) Result {
 	m.flight[key] = fc
 	m.mu.Unlock()
 
-	r := fn()
-
-	m.mu.Lock()
-	if r.Status == StatusSimulated || r.Status == StatusReused {
-		m.put(key, r.Value)
-	}
-	delete(m.flight, key)
-	m.mu.Unlock()
-	fc.res = r
-	close(fc.done)
+	// The flight entry must come down and done must close no matter how
+	// fn returns: a panic that skipped this cleanup would strand every
+	// later caller of the key on a channel nobody will ever close.
+	r := Result{Status: StatusFailed}
+	defer func() {
+		m.mu.Lock()
+		if r.Status == StatusSimulated || r.Status == StatusReused {
+			m.put(key, r.Value)
+		}
+		delete(m.flight, key)
+		m.mu.Unlock()
+		fc.res = r
+		close(fc.done)
+	}()
+	r = fn()
 	return r
 }

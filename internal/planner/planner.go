@@ -299,6 +299,7 @@ func Run(ctx context.Context, cells []Cell, opt Options) ([]Result, Report) {
 			results[ui] = opt.execute(ctx, cells[ui])
 		}(ui)
 	}
+	//xbc:ignore ctxflow graceful drain by contract: cancellation stops new cells above, and every started worker runs one ctx-aware cell and exits
 	wg.Wait()
 
 	// Alias duplicates onto their primaries, tally, and account every
@@ -368,7 +369,7 @@ func (o Options) execute(ctx context.Context, c Cell) Result {
 	if o.Memo == nil {
 		return o.runFresh(ctx, c)
 	}
-	return o.Memo.do(c.Key, func() Result { return o.runFresh(ctx, c) })
+	return o.Memo.do(ctx, c.Key, func() Result { return o.runFresh(ctx, c) })
 }
 
 // sourceJournal names the runner journal as a reuse source.

@@ -135,7 +135,7 @@ func TestMemoCoalescesConcurrentExecutions(t *testing.T) {
 	var calls atomic.Int64
 	leaderDone := make(chan Result, 1)
 	go func() {
-		leaderDone <- memo.do("k", func() Result {
+		leaderDone <- memo.do(context.Background(), "k", func() Result {
 			calls.Add(1)
 			close(entered)
 			<-release
@@ -145,7 +145,7 @@ func TestMemoCoalescesConcurrentExecutions(t *testing.T) {
 	<-entered // the leader is in-flight: the key is in the flight table
 	waiterDone := make(chan Result, 1)
 	go func() {
-		waiterDone <- memo.do("k", func() Result {
+		waiterDone <- memo.do(context.Background(), "k", func() Result {
 			calls.Add(1)
 			return Result{Status: StatusSimulated, Value: "v"}
 		})
@@ -171,13 +171,65 @@ func TestMemoCoalescesConcurrentExecutions(t *testing.T) {
 func TestMemoDoesNotCacheFailures(t *testing.T) {
 	memo := NewMemo(0)
 	boom := errors.New("boom")
-	r1 := memo.do("k", func() Result { return Result{Status: StatusFailed, Err: boom} })
+	r1 := memo.do(context.Background(), "k", func() Result { return Result{Status: StatusFailed, Err: boom} })
 	if r1.Status != StatusFailed {
 		t.Fatalf("r1 = %+v", r1)
 	}
-	r2 := memo.do("k", func() Result { return Result{Status: StatusSimulated, Value: "ok"} })
+	r2 := memo.do(context.Background(), "k", func() Result { return Result{Status: StatusSimulated, Value: "ok"} })
 	if r2.Status != StatusSimulated || r2.Value != "ok" {
 		t.Fatalf("failure was cached: r2 = %+v", r2)
+	}
+}
+
+// A waiter whose context is cancelled must stop waiting on the flight
+// and report the abort, leaving the leader undisturbed.
+func TestMemoWaiterAbortsOnCancel(t *testing.T) {
+	memo := NewMemo(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan Result, 1)
+	go func() {
+		leaderDone <- memo.do(context.Background(), "k", func() Result {
+			close(entered)
+			<-release
+			return Result{Status: StatusSimulated, Value: "v"}
+		})
+	}()
+	<-entered // the leader is in-flight: the key is in the flight table
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := memo.do(ctx, "k", func() Result {
+		t.Error("waiter must attach to the flight, not execute")
+		return Result{}
+	})
+	if r.Status != StatusAborted {
+		t.Fatalf("cancelled waiter = %+v, want StatusAborted", r)
+	}
+	close(release)
+	if r := <-leaderDone; r.Status != StatusSimulated {
+		t.Fatalf("leader = %+v", r)
+	}
+}
+
+// A leader whose fn panics must still tear down the flight entry and
+// close done: the panic propagates to its caller, but later plans for
+// the key run fresh instead of parking forever on a channel nobody will
+// ever close.
+func TestMemoLeaderPanicDoesNotStrand(t *testing.T) {
+	memo := NewMemo(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leader panic did not propagate")
+			}
+		}()
+		memo.do(context.Background(), "k", func() Result { panic("boom") })
+	}()
+	r := memo.do(context.Background(), "k", func() Result {
+		return Result{Status: StatusSimulated, Value: "ok"}
+	})
+	if r.Status != StatusSimulated || r.Value != "ok" {
+		t.Fatalf("post-panic do = %+v, want a fresh execution", r)
 	}
 }
 

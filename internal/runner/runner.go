@@ -217,6 +217,7 @@ func Run(ctx context.Context, o Options, tasks []Task) []CellResult {
 			results[i] = o.runCell(ctx, t)
 		}(i, t)
 	}
+	//xbc:ignore ctxflow graceful drain by contract: cancellation stops new cells above, and every started worker runs one ctx-aware cell and exits
 	wg.Wait()
 	if o.Report != nil {
 		o.Report.Add(results...)
@@ -298,6 +299,7 @@ func (o Options) attempt(ctx context.Context, t Task) (any, error) {
 		ch <- outcome{payload: p, err: err}
 	}()
 	if o.CellTimeout <= 0 {
+		//xbc:ignore ctxflow the attempt goroutine sends exactly once (panics included); with no deadline the drain contract is to wait for the in-flight cell
 		out := <-ch
 		return out.payload, out.err
 	}

@@ -1,8 +1,11 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,6 +147,66 @@ func TestDrainSemantics(t *testing.T) {
 
 	// Drain is idempotent.
 	srv.Drain()
+}
+
+// TestDrainUnderLoad races Drain against live sweep submission and the
+// store's write-behind flusher. The drain must complete with workers
+// still finishing jobs (whose results race into the persist queue) and
+// submitters still hammering the API: a completion that loses the race
+// used to panic on a send to the closed flusher channel.
+func TestDrainUnderLoad(t *testing.T) {
+	st := openStoreT(t, t.TempDir())
+	srv, ts := newTestServer(t, Options{
+		Shards: 2, WorkersPerShard: 2, QueueDepth: 64, Store: st,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := api.SweepRequest{
+					Frontends: []string{jobspec.KindTC},
+					Workloads: []string{microWorkloads[(g+i)%len(microWorkloads)]},
+					Budgets:   []int{2048 + 1024*(i%3)},
+					Uops:      5_000,
+				}
+				b, err := json.Marshal(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Any status is acceptable: accepted before the drain
+				// begins, 503 after. Only transport failures are bugs.
+				resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+
+	// Let the submitters build a backlog, then drain through the middle
+	// of it while they keep going.
+	time.Sleep(10 * time.Millisecond)
+	srv.Drain()
+	close(stop)
+	wg.Wait()
+
+	// Drain is idempotent, and the store latched closed underneath.
+	srv.Drain()
+	if err := st.Close(); err != nil {
+		t.Fatalf("store.Close after drain: %v", err)
+	}
 }
 
 func TestDrainWithoutJournalRejectsDeterministically(t *testing.T) {

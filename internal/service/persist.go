@@ -54,6 +54,7 @@ type persister struct {
 	jrnl *runner.Journal
 
 	ch        chan persistItem
+	stop      chan struct{} // closed by close(); producers and the flusher select on it
 	done      chan struct{}
 	closeOnce sync.Once
 
@@ -77,6 +78,7 @@ func newPersister(st *store.Store, jrnl *runner.Journal) *persister {
 		st:   st,
 		jrnl: jrnl,
 		ch:   make(chan persistItem, persistQueueDepth),
+		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 	go p.loop()
@@ -84,11 +86,25 @@ func newPersister(st *store.Store, jrnl *runner.Journal) *persister {
 }
 
 // loop is the write-behind flusher: the only goroutine that writes the
-// store after open.
+// store after open. On stop it drains whatever producers managed to
+// enqueue, then exits; the queue channel itself is never closed, so a
+// producer racing the drain can never panic on a closed channel.
 func (p *persister) loop() {
 	defer close(p.done)
-	for it := range p.ch {
-		p.flush(it)
+	for {
+		select {
+		case it := <-p.ch:
+			p.flush(it)
+		case <-p.stop:
+			for {
+				select {
+				case it := <-p.ch:
+					p.flush(it)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -112,10 +128,33 @@ func (p *persister) flush(it persistItem) {
 }
 
 // close stops the flusher after draining everything enqueued. Safe to
-// call more than once; callers must have stopped producing first.
+// call more than once, and safe against producers still racing the
+// drain: a late enqueue falls into the stop case and is journaled
+// instead of panicking on a closed channel.
 func (p *persister) close() {
-	p.closeOnce.Do(func() { close(p.ch) })
+	p.closeOnce.Do(func() { close(p.stop) })
+	//xbc:ignore ctxflow loop closes done unconditionally on return and stop was just closed, so this receive is bounded
 	<-p.done
+}
+
+// enqueue hands one item to the flusher, or — when the persister has
+// been stopped — journals result items directly so a drain racing a
+// final completion loses nothing.
+func (p *persister) enqueue(it persistItem) {
+	select {
+	case p.ch <- it:
+	case <-p.stop:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.writeErrors++
+		if !it.journal || p.jrnl == nil {
+			return
+		}
+		cell := runner.Cell{Figure: "store", Workload: "unflushed", Config: it.key}
+		if jerr := p.jrnl.Record(cell, json.RawMessage(it.val)); jerr == nil {
+			p.journaled++
+		}
+	}
 }
 
 // saveResult enqueues a completed job's result for write-behind.
@@ -129,7 +168,7 @@ func (p *persister) saveResult(id string, res jobspec.Result, attempts int) {
 		p.mu.Unlock()
 		return
 	}
-	p.ch <- persistItem{key: resultKeyPrefix + id, val: val, journal: true}
+	p.enqueue(persistItem{key: resultKeyPrefix + id, val: val, journal: true})
 }
 
 // loadResult is the read-through path: a persisted result for the content
@@ -173,7 +212,7 @@ func (p *persister) Load(key string) ([]byte, bool) {
 // written behind. Corpus entries are not journaled on failure — they are
 // deterministically regenerable from the spec.
 func (p *persister) Save(key string, val []byte) {
-	p.ch <- persistItem{key: corpusKeyPrefix + key, val: val}
+	p.enqueue(persistItem{key: corpusKeyPrefix + key, val: val})
 }
 
 // health summarizes the store for /healthz: "ok" or "degraded".

@@ -211,6 +211,7 @@ type Store struct {
 	liveBytes int64
 	failed    error // sticky first write error; non-nil = degraded
 	closed    bool
+	closing   bool // latched by the first Close before it drops the lock
 	stats     Stats
 
 	stopSync chan struct{} // closes the interval-sync goroutine
@@ -699,18 +700,23 @@ func (s *Store) syncLoop() {
 }
 
 // Close checkpoints (unless degraded) and closes the files. The store is
-// unusable afterwards.
+// unusable afterwards. Concurrent and repeated calls are safe: the first
+// caller latches closing and does the work; later callers return nil
+// immediately (without the latch, two racing Closes would both observe
+// closed == false and double-close stopSync, which panics).
 func (s *Store) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.closing {
 		s.mu.Unlock()
 		return nil
 	}
+	s.closing = true
 	if s.stopSync != nil {
 		close(s.stopSync)
 	}
 	s.mu.Unlock()
 	if s.syncDone != nil {
+		//xbc:ignore ctxflow syncLoop closes syncDone unconditionally on return and stopSync was just closed, so this receive is bounded
 		<-s.syncDone
 	}
 	s.mu.Lock()

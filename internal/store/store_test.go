@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 // openT opens a store with test-friendly defaults, failing the test on
@@ -362,5 +364,30 @@ func TestClosedStoreRefusesEverything(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// Concurrent Closes must not race on the stopSync channel: before the
+// closing latch, two callers could both observe closed == false and
+// double-close it, which panics.
+func TestConcurrentClose(t *testing.T) {
+	s := openT(t, t.TempDir(), func(o *Options) {
+		o.Fsync = FsyncInterval
+		o.FsyncInterval = time.Hour // syncer running but idle
+	})
+	mustPut(t, s, "k", []byte("v"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Put("k2", nil); err != ErrClosed {
+		t.Fatalf("Put after concurrent Close: %v, want ErrClosed", err)
 	}
 }
