@@ -20,7 +20,7 @@ BENCH_OUT ?= BENCH_CURRENT.json
 # jitter.
 MAXSLOW ?= 35
 
-.PHONY: all check build test vet lint lint-flow lint-sarif race bench bench-smoke bench-compare bench-gate bench-sweep bench-profile experiments calibrate fuzz serve e2e clean
+.PHONY: all check build test vet lint lint-flow lint-sarif race bench bench-smoke bench-compare bench-gate bench-sweep bench-fidelity bench-profile experiments calibrate fuzz serve e2e clean
 
 all: check
 
@@ -90,6 +90,16 @@ bench-gate: bench
 bench-sweep:
 	$(GO) run ./cmd/benchjson -pkg ./internal/planner -bench 'BenchmarkSweep' -benchtime 3x -o BENCH_SWEEP_CURRENT.json
 	$(GO) run ./cmd/benchjson -compare -maxslow $(MAXSLOW) BENCH_PR7.json BENCH_SWEEP_CURRENT.json
+
+# Fidelity-ladder benchmark: one cell (gcc, 1M uops) at full, sampled,
+# and estimate fidelity, recording effective uops/s and the deterministic
+# simuops/op metric (uops simulated in detail). Gated against the
+# checked-in PR 9 baseline: the sampled rung must stay at or under 10% of
+# the full run's uops (asserted inside the benchmark itself) and must
+# never simulate more uops than the recorded baseline.
+bench-fidelity:
+	$(GO) run ./cmd/benchjson -pkg ./internal/service/jobspec -bench 'BenchmarkFidelity' -benchtime 3x -o BENCH_FIDELITY_CURRENT.json
+	$(GO) run ./cmd/benchjson -compare -maxslow $(MAXSLOW) BENCH_PR9.json BENCH_FIDELITY_CURRENT.json
 
 # Two-command profiling flow (see README): record a CPU profile of the
 # XBC frontend benchmark, then open the interactive pprof viewer on it.

@@ -44,6 +44,11 @@ type Result struct {
 	// actually executed per sweep. Unlike timing it is deterministic, so
 	// compare gates any growth at all.
 	SimCellsPerOp float64 `json:"simcells_per_op,omitempty"`
+	// SimUopsPerOp is the fidelity benchmarks' custom metric: uops
+	// simulated in detail per run. Deterministic like SimCellsPerOp, and
+	// gated the same way — the sampled rung must never quietly start
+	// simulating more of the stream.
+	SimUopsPerOp float64 `json:"simuops_per_op,omitempty"`
 }
 
 // File is the recorded benchmark set.
@@ -86,6 +91,8 @@ func parse(r io.Reader) (map[string]Result, error) {
 				res.AllocsPerOp = v
 			case "simcells/op":
 				res.SimCellsPerOp = v
+			case "simuops/op":
+				res.SimUopsPerOp = v
 			}
 		}
 		out[name] = res
@@ -184,6 +191,20 @@ func compareFiles(oldF, newF *File, maxAllocRegressPct, maxSlowPct float64, w io
 				regressions++
 			case nw.SimCellsPerOp > o.SimCellsPerOp:
 				pr("  ^ REGRESSION: the planner simulates more cells than the baseline\n")
+				regressions++
+			}
+		}
+		// Simulated-uops gate: same discipline as simcells/op — the count
+		// is deterministic, so any growth means the sampler covers more of
+		// the stream than the recorded baseline.
+		if o.SimUopsPerOp > 0 || nw.SimUopsPerOp > 0 {
+			pr("  simuops/op %.0f -> %.0f\n", o.SimUopsPerOp, nw.SimUopsPerOp)
+			switch {
+			case o.SimUopsPerOp > 0 && nw.SimUopsPerOp == 0:
+				pr("  ^ REGRESSION: simuops/op metric disappeared from the new recording\n")
+				regressions++
+			case nw.SimUopsPerOp > o.SimUopsPerOp:
+				pr("  ^ REGRESSION: more uops simulated in detail than the baseline\n")
 				regressions++
 			}
 		}

@@ -40,6 +40,7 @@ func main() {
 		uops      = flag.Uint64("uops", 1_000_000, "dynamic uops per workload")
 		budget    = flag.Int("budget", 32*1024, "cache uop budget for fixed-size experiments")
 		traces    = flag.String("traces", "", "comma-separated workload subset (default: all 21)")
+		fidelity  = flag.String("fidelity", "", "simulation rung for figures 8-10: full, sampled, or estimate (default full)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		plot      = flag.Bool("plot", false, "also draw ASCII charts for figures 9 and 10")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "concurrent workload simulations")
@@ -70,6 +71,7 @@ func main() {
 	opts := xbc.DefaultExperimentOptions()
 	opts.UopsPerTrace = *uops
 	opts.Budget = *budget
+	opts.Fidelity = *fidelity
 	opts.Parallel = *parallel
 	opts.Ctx = ctx
 	opts.CellTimeout = *timeout

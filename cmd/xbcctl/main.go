@@ -4,6 +4,7 @@
 //
 //	xbcctl submit -fe xbc -trace gcc -uops 1000000 [-wait]
 //	xbcctl sweep -fe xbc,btb -traces gcc,quake -budgets 8192,32768 [-wait]
+//	xbcctl sweep -traces gcc,quake -fidelities full,sampled [-wait]
 //	xbcctl get <job-id>
 //	xbcctl watch <job-id>
 //	xbcctl loadgen -conc 8 -n 200 -qps 50 -traces gcc,quake
@@ -89,12 +90,14 @@ func addSpecFlags(fs *flag.FlagSet) func() jobspec.Spec {
 		budget = fs.Int("budget", jobspec.DefaultBudget, "cache uop budget")
 		ports  = fs.Int("ports", 0, "ic only: multi-ported fetch width")
 		check  = fs.Bool("check", false, "enable XBC invariant checking")
+		fid    = fs.String("fidelity", "", "fidelity rung: "+strings.Join(jobspec.Fidelities(), ", ")+" (default full)")
 		core   = fs.String("core", "", `attach an IPC estimate: "default" or issue,window,pipedepth (e.g. 8,128,5)`)
 	)
 	return func() jobspec.Spec {
 		spec := jobspec.Spec{
 			Frontend: *fe, Workload: *trace, Uops: *uops,
 			Budget: *budget, Ports: *ports, Check: *check,
+			Fidelity: *fid,
 		}
 		if *core != "" {
 			c, err := parseCore(*core)
@@ -267,6 +270,7 @@ func cmdSweep(args []string) {
 		fes     = fs.String("fe", "xbc", "comma-separated frontends: "+strings.Join(jobspec.Kinds(), ", "))
 		traces  = fs.String("traces", "", "comma-separated workloads (default: all 21 paper traces)")
 		budgets = fs.String("budgets", "", "comma-separated cache uop budgets (default: 32768)")
+		fids    = fs.String("fidelities", "", "comma-separated fidelity rungs: "+strings.Join(jobspec.Fidelities(), ", ")+" (default full)")
 		uops    = fs.Uint64("uops", jobspec.DefaultUops, "dynamic uops per cell")
 		check   = fs.Bool("check", false, "enable XBC invariant checking")
 		core    = fs.String("core", "", `attach an IPC estimate: "default" or issue,window,pipedepth`)
@@ -290,6 +294,9 @@ func cmdSweep(args []string) {
 			}
 			req.Budgets = append(req.Budgets, v)
 		}
+	}
+	if *fids != "" {
+		req.Fidelities = strings.Split(*fids, ",")
 	}
 	if *core != "" {
 		c, err := parseCore(*core)
@@ -399,6 +406,7 @@ func cmdLoadgen(args []string) {
 		qps    = fs.Float64("qps", 0, "aggregate submissions/second (0 = as fast as possible)")
 		traces = fs.String("traces", "straightline,loopnest,callheavy", "comma-separated workload rotation")
 		fe     = fs.String("fe", "xbc", "frontend kind")
+		fid    = fs.String("fidelity", "", "fidelity rung for every job: "+strings.Join(jobspec.Fidelities(), ", ")+" (default full)")
 		uops   = fs.Uint64("uops", 50_000, "dynamic uops per job")
 		budget = fs.Int("budget", 8192, "cache uop budget")
 	)
@@ -452,7 +460,7 @@ func cmdLoadgen(args []string) {
 			for i := range tickets {
 				spec := jobspec.Spec{
 					Frontend: *fe, Workload: ws[i%len(ws)].Name,
-					Uops: *uops, Budget: *budget,
+					Uops: *uops, Budget: *budget, Fidelity: *fid,
 				}
 				t0 := now()
 				sub, err := c.submit(spec)
@@ -570,4 +578,73 @@ func cmdSelfcheck(args []string) {
 	}
 	fmt.Printf("selfcheck ok: job %s bit-identical to direct run; resubmission cached; %s\n",
 		sub.ID, planLine(p))
+
+	// Fidelity-ladder phase (skipped with -check: checked runs are pinned
+	// to full fidelity): a sampled run must advertise its error bound, and
+	// a later full-fidelity run of the same cell must upgrade the cached
+	// entry — a sampled resubmission is then served the full job, not an
+	// alias of the approximation.
+	if spec.Check {
+		return
+	}
+	samp := spec
+	samp.Fidelity = jobspec.FidelitySampled
+	// A distinct cell (so the full run above cannot satisfy it) long
+	// enough that sampling really extrapolates instead of falling back to
+	// an exact short-stream run.
+	samp.Uops = spec.Uops + 160_000
+	sampSub, err := c.submit(samp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampJob, err := c.wait(sampSub.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sampJob.State != "done" || sampJob.Metrics == nil {
+		log.Fatalf("sampled job %s ended %s: %s", sampSub.ID, sampJob.State, sampJob.Error)
+	}
+	if sampJob.Fidelity == jobspec.FidelityFull {
+		// A full-fidelity run of this cell already exists (warm store or
+		// an earlier upgrade) and satisfied the sampled request — the
+		// ladder's end state. Nothing left to upgrade.
+		fmt.Printf("selfcheck fidelity ok: sampled request served the exact result %s\n", sampSub.ID)
+		return
+	}
+	if sampJob.Fidelity != jobspec.FidelitySampled {
+		log.Fatalf("sampled job fidelity = %q, want %q", sampJob.Fidelity, jobspec.FidelitySampled)
+	}
+	if len(sampJob.ErrorBound) == 0 {
+		log.Fatalf("sampled job %s carries no error bound", sampSub.ID)
+	}
+	if sampJob.SampledUops == 0 || sampJob.SampledUops >= samp.Uops {
+		log.Fatalf("sampled job simulated %d of %d uops, want a strict subset", sampJob.SampledUops, samp.Uops)
+	}
+
+	full := samp
+	full.Fidelity = jobspec.FidelityFull
+	fullSub, err := c.submit(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fullSub.ID == sampSub.ID {
+		log.Fatalf("full-fidelity submission aliased the sampled job %s", sampSub.ID)
+	}
+	fullJob, err := c.wait(fullSub.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fullJob.State != "done" || fullJob.Fidelity != jobspec.FidelityFull {
+		log.Fatalf("full job %s ended %s fidelity %q: %s", fullSub.ID, fullJob.State, fullJob.Fidelity, fullJob.Error)
+	}
+
+	resamp, err := c.submit(samp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resamp.Status != api.SubmitCached || resamp.ID != fullSub.ID {
+		log.Fatalf("sampled resubmission = %+v, want the cached full job %s", resamp, fullSub.ID)
+	}
+	fmt.Printf("selfcheck fidelity ok: sampled job %s (%d/%d uops, bound %v) upgraded by full job %s\n",
+		sampSub.ID, sampJob.SampledUops, samp.Uops, sampJob.ErrorBound, fullSub.ID)
 }

@@ -62,6 +62,8 @@ func main() {
 		storeDir = flag.String("store", "", "directory of the persistent result/corpus store (empty = memory-only)")
 		storeFs  = flag.String("store-fsync", "interval", "store durability: always, interval, or never")
 		storeMax = flag.Int64("store-max-bytes", 0, "compact the store segment past this size, evicting oldest records (0 = unbounded)")
+		snapshot = flag.Int("snapshot-cache", 64, "warm-state snapshots kept in memory for full-fidelity warmup skipping (negative disables snapshots)")
+		upgrade  = flag.Bool("upgrade-sampled", false, "resubmit a full-fidelity job in the background after serving a sampled or estimate result")
 	)
 	flag.Parse()
 
@@ -73,6 +75,8 @@ func main() {
 		JobTimeout:      *timeout,
 		Retries:         *retries,
 		MaxUops:         *maxUops,
+		SnapshotEntries: *snapshot,
+		UpgradeSampled:  *upgrade,
 		//xbc:ignore nondeterm the daemon binds the real clock; everything below main injects it
 		Clock: time.Now,
 	}

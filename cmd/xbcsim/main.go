@@ -36,6 +36,7 @@ func main() {
 		uops    = flag.Uint64("uops", 1_000_000, "dynamic uops (with -trace)")
 		budget  = flag.Int("budget", 32*1024, "cache uop budget")
 		check   = flag.Bool("check", false, "enable cycle-level invariant checking (xbc only)")
+		fid     = flag.String("fidelity", "", "fidelity rung: "+strings.Join(jobspec.Fidelities(), ", ")+" (sampled/estimate need -trace)")
 		verbose = flag.Bool("v", false, "print structure-specific extras")
 	)
 	profFlags := prof.AddFlags(flag.CommandLine)
@@ -83,17 +84,36 @@ func main() {
 	// Model construction goes through the same jobspec path the daemon
 	// uses, so a CLI run and a served job build byte-identical frontends.
 	run := func(key string) {
-		spec := jobspec.Spec{Frontend: key, Budget: *budget, Check: *check}.Normalize()
-		model, err := spec.NewFrontend()
-		if err != nil {
-			log.Fatal(err)
+		spec := jobspec.Spec{Frontend: key, Budget: *budget, Check: *check, Fidelity: *fid}.Normalize()
+		var m xbc.Metrics
+		if spec.Fidelity != "" {
+			// Sampled and estimate rungs extrapolate from representative
+			// intervals; route through the daemon's Execute path, which
+			// owns interval selection (needs a named workload).
+			if *name == "" {
+				log.Fatal("-fidelity sampled/estimate needs -trace (a named workload)")
+			}
+			spec.Workload = *name
+			spec.Uops = *uops
+			res, err := jobspec.Execute(spec)
+			if err != nil {
+				log.Fatalf("%s: %v", key, err)
+			}
+			m = res.Metrics
+			fmt.Printf("%-8s insts=%d uops=%d fidelity=%s sampled_uops=%d bound=%v\n",
+				key, m.Insts, m.Uops, res.EffectiveFidelity(), res.SampledUops, res.ErrorBound)
+		} else {
+			model, err := spec.NewFrontend()
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Reset()
+			m, err = xbc.RunSafe(model, s)
+			if err != nil {
+				log.Fatalf("%s: %v", model.Name(), err)
+			}
+			fmt.Printf("%-8s insts=%d uops=%d\n", model.Name(), m.Insts, m.Uops)
 		}
-		s.Reset()
-		m, err := xbc.RunSafe(model, s)
-		if err != nil {
-			log.Fatalf("%s: %v", model.Name(), err)
-		}
-		fmt.Printf("%-8s insts=%d uops=%d\n", model.Name(), m.Insts, m.Uops)
 		fmt.Printf("  uop miss rate   %6.2f %%\n", m.UopMissRate())
 		fmt.Printf("  delivery BW     %6.2f uops/cycle\n", m.Bandwidth())
 		fmt.Printf("  overall BW      %6.2f uops/cycle\n", m.OverallBandwidth())

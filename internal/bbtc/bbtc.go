@@ -197,75 +197,10 @@ func (st *state) insertTrace(ip isa.Addr, blocks []isa.Addr) {
 	st.traces[victim] = ptrTrace{valid: true, startIP: ip, blocks: stored, stamp: st.tick}
 }
 
-// Run replays the stream through the BBTC frontend.
+// Run replays the stream through the BBTC frontend: a session stepped
+// straight from start to end (see session.go).
 func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
-	var m frontend.Metrics
-	st := &state{
-		blocks: make([]block, f.cfg.BlockSets*f.cfg.BlockWays),
-		traces: make([]ptrTrace, f.cfg.TraceSets*f.cfg.TraceWays),
-		cfg:    f.cfg,
-	}
-	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
-	preds := frontend.NewPredictorSet()
-	recs := s.Records()
-	// Per-run build scratch, reused across episodes so the assembly loop
-	// does not allocate (insertBlock/insertTrace copy into line storage).
-	scratch := &buildScratch{
-		ptrs: make([]isa.Addr, 0, f.cfg.PtrsPerTrace),
-		fill: make([]blockInst, 0, f.cfg.BlockUops),
-	}
-	i := 0
-	inDelivery := false
-	//xbc:hot
-	for i < len(recs) {
-		if t := st.lookupTrace(recs[i].IP); t != nil {
-			next := f.deliver(st, recs, i, t, preds, &m)
-			if next > i {
-				inDelivery = true
-				i = next
-				continue
-			}
-			// The pointer trace exists but its first block was evicted:
-			// nothing could be supplied, so rebuild through the IC path.
-		}
-		m.StructMisses++
-		if inDelivery {
-			inDelivery = false
-			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
-		}
-		i = f.build(st, recs, i, path, preds, scratch, &m)
-	}
-	// Pointer redundancy: average number of trace-table references per
-	// resident block (the redundancy the BBTC moves out of uop storage).
-	refs := map[isa.Addr]int{}
-	for k := range st.traces {
-		if st.traces[k].valid {
-			for _, b := range st.traces[k].blocks {
-				refs[b]++
-			}
-		}
-	}
-	if len(refs) > 0 {
-		total := 0
-		//xbc:ignore nondeterm commutative integer sum; order-insensitive
-		for _, n := range refs {
-			total += n
-		}
-		m.AddExtra("pointer_redundancy", float64(total)/float64(len(refs)))
-	}
-	usedUops, validBlocks := 0, 0
-	for k := range st.blocks {
-		if st.blocks[k].valid {
-			validBlocks++
-			usedUops += st.blocks[k].uops
-		}
-	}
-	if validBlocks > 0 {
-		m.AddExtra("fragmentation", 1-float64(usedUops)/float64(validBlocks*f.cfg.BlockUops))
-	}
-	m.AddExtra("ic_miss_rate", path.MissRate())
-	m.Finalize(f.fecfg)
-	return m
+	return frontend.RunSession(f.NewSession(), s.Records())
 }
 
 // deliver supplies uops for the pointer trace t, reading member blocks

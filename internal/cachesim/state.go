@@ -1,0 +1,28 @@
+package cachesim
+
+import (
+	"xbc/internal/snapshot"
+)
+
+// SaveState appends the cache's dynamic state (contents, LRU clocks,
+// statistics) to a snapshot payload. Geometry is not stored; the
+// restoring side rebuilds the cache from its config first.
+func (c *Cache) SaveState(w *snapshot.Writer) {
+	w.U64s(c.tags)
+	w.Bools(c.valid)
+	w.U64s(c.stamp)
+	w.U64(c.tick)
+	w.U64(c.hits)
+	w.U64(c.misses)
+}
+
+// LoadState restores state saved by SaveState into a same-geometry cache.
+func (c *Cache) LoadState(r *snapshot.Reader) error {
+	r.U64sInto(c.tags)
+	r.BoolsInto(c.valid)
+	r.U64sInto(c.stamp)
+	c.tick = r.U64()
+	c.hits = r.U64()
+	c.misses = r.U64()
+	return r.Err()
+}

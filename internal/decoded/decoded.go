@@ -82,150 +82,10 @@ func New(cfg Config, fecfg frontend.Config) *Frontend {
 // Name identifies the model.
 func (f *Frontend) Name() string { return "decoded" }
 
-// Run replays the stream through the decoded-cache frontend.
+// Run replays the stream through the decoded-cache frontend: a session
+// stepped straight from start to end (see session.go).
 func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
-	var m frontend.Metrics
-	lines := make([]line, f.cfg.Sets*f.cfg.Ways)
-	var tick uint64
-	setOf := func(ip isa.Addr) int { return int(uint64(ip>>1) & uint64(f.cfg.Sets-1)) }
-	lookup := func(ip isa.Addr) *line {
-		base := setOf(ip) * f.cfg.Ways
-		for w := 0; w < f.cfg.Ways; w++ {
-			ln := &lines[base+w]
-			if ln.valid && ln.startIP == ip {
-				tick++
-				ln.stamp = tick
-				return ln
-			}
-		}
-		return nil
-	}
-	insert := func(startIP isa.Addr, insts []lineInst, uops int) {
-		base := setOf(startIP) * f.cfg.Ways
-		victim := base
-		for w := 0; w < f.cfg.Ways; w++ {
-			ln := &lines[base+w]
-			if ln.valid && ln.startIP == startIP {
-				victim = base + w
-				break
-			}
-			if !ln.valid {
-				victim = base + w
-				continue
-			}
-			if lines[victim].valid && ln.stamp < lines[victim].stamp {
-				victim = base + w
-			}
-		}
-		tick++
-		// Reuse the victim line's storage; inserts stop allocating once
-		// every line has been filled at least once.
-		stored := append(lines[victim].insts[:0], insts...)
-		lines[victim] = line{valid: true, startIP: startIP, uops: uops, insts: stored, stamp: tick}
-	}
-
-	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
-	preds := frontend.NewPredictorSet()
-	recs := s.Records()
-	// Per-run build scratch, reused across episodes (insert copies into
-	// line storage, so the next episode may overwrite it).
-	scratch := make([]lineInst, 0, f.cfg.LineUops)
-	i := 0
-	inDelivery := false
-	//xbc:hot
-	for i < len(recs) {
-		if ln := lookup(recs[i].IP); ln != nil {
-			inDelivery = true
-			// Delivery: one line per cycle; stop on path divergence.
-			m.DeliveryFetches++
-			for _, e := range ln.insts {
-				if i >= len(recs) || recs[i].IP != e.ip {
-					break
-				}
-				r := recs[i]
-				m.Insts++
-				m.Uops += uint64(r.NumUops)
-				m.DeliveredUops += uint64(r.NumUops)
-				i++
-				if r.Class == isa.Seq {
-					continue
-				}
-				out := preds.Resolve(r, &m)
-				if out.Mispredicted {
-					m.PenaltyCycles += uint64(f.fecfg.MispredictPenalty)
-					m.DeliveryPenalty += uint64(f.fecfg.MispredictPenalty)
-				}
-				if r.Next != r.FallThrough() {
-					// Taken transfer: lines hold sequential runs only.
-					break
-				}
-			}
-			continue
-		}
-		// Build: decode a line's worth of consecutive uops.
-		m.StructMisses++
-		if inDelivery {
-			inDelivery = false
-			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
-		}
-		startIP := recs[i].IP
-		fill := scratch[:0]
-		uops := 0
-		for i < len(recs) {
-			g := path.FetchGroup(recs, i)
-			m.BuildCycles += uint64(1 + g.Stall)
-			done := false
-			for k := 0; k < g.N && !done; k++ {
-				r := recs[i+k]
-				if uops+int(r.NumUops) > f.cfg.LineUops {
-					done = true
-					g.N = k
-					break
-				}
-				m.Insts++
-				m.Uops += uint64(r.NumUops)
-				m.BuildUops += uint64(r.NumUops)
-				uops += int(r.NumUops)
-				fill = append(fill, lineInst{ip: r.IP, numUops: r.NumUops, class: r.Class})
-				if out := preds.Resolve(r, &m); out.Mispredicted {
-					m.PenaltyCycles += uint64(f.fecfg.MispredictPenalty)
-				}
-				if r.Next != r.FallThrough() {
-					done = true
-					g.N = k + 1
-				}
-			}
-			i += g.N
-			if done || uops >= f.cfg.LineUops {
-				break
-			}
-			if g.N == 0 {
-				break
-			}
-		}
-		scratch = fill // keep any growth for the next episode
-		if len(fill) > 0 {
-			insert(startIP, fill, uops)
-		} else {
-			i++ // defensive progress
-		}
-	}
-	frag := 0.0
-	validLines := 0
-	usedUops := 0
-	for k := range lines {
-		if lines[k].valid {
-			validLines++
-			usedUops += lines[k].uops
-		}
-	}
-	if validLines > 0 {
-		frag = 1 - float64(usedUops)/float64(validLines*f.cfg.LineUops)
-	}
-	m.AddExtra("fragmentation", frag)
-	m.AddExtra("ic_miss_rate", path.MissRate())
-	m.Finalize(f.fecfg)
-	return m
+	return frontend.RunSession(f.NewSession(), s.Records())
 }
 
 var _ frontend.Frontend = (*Frontend)(nil)

@@ -18,6 +18,7 @@ import (
 	"xbc/internal/frontend"
 	"xbc/internal/planner"
 	"xbc/internal/runner"
+	"xbc/internal/sampling"
 	"xbc/internal/stats"
 	"xbc/internal/tcache"
 	"xbc/internal/trace"
@@ -43,6 +44,13 @@ type Options struct {
 	Workloads []workload.Workload
 	// FE carries the shared timing parameters.
 	FE frontend.Config
+	// Fidelity selects the simulation rung for the metric-producing
+	// figures (8, 9, 10): "" or "full" simulates every uop; "sampled"
+	// and "estimate" extrapolate from representative intervals (see
+	// internal/sampling), trading a bounded metric error for a large cut
+	// in simulated uops. Figure 1 analyzes the trace itself and always
+	// runs in full.
+	Fidelity string
 	// Parallel bounds concurrent workload simulations (default 4).
 	Parallel int
 
@@ -121,6 +129,24 @@ func (o Options) withDefaults() Options {
 // get private read cursors over one record slice (see corpus.go).
 func stream(o Options, w workload.Workload) (*trace.Stream, error) {
 	return sharedCorpus.stream(w.Spec, o.UopsPerTrace)
+}
+
+// runModel executes one constructed frontend over the stream at the
+// configured fidelity: sampled/estimate rungs extrapolate from
+// representative intervals when the model supports sessions, anything
+// else (including models without session support) runs every uop.
+func runModel(o Options, fe frontend.Frontend, s *trace.Stream) (frontend.Metrics, error) {
+	if o.Fidelity == "sampled" || o.Fidelity == "estimate" {
+		if sf, ok := fe.(frontend.SessionFrontend); ok {
+			res, err := sampling.Run(sf, s.Records(), o.FE, sampling.ConfigFor(o.Fidelity))
+			if err != nil {
+				return frontend.Metrics{}, err
+			}
+			return res.Metrics, nil
+		}
+	}
+	s.Reset()
+	return fe.Run(s), nil
 }
 
 // ---------------------------------------------------------------------
@@ -218,12 +244,14 @@ func Figure8(o Options) (*Fig8Result, error) {
 			if err != nil {
 				return Fig8Row{}, err
 			}
-			x := xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE)
-			s.Reset()
-			mx := x.Run(s)
-			tc := tcache.New(tcache.DefaultConfig(o.Budget), o.FE)
-			s.Reset()
-			mt := tc.Run(s)
+			mx, err := runModel(o, xbcore.New(xbcore.DefaultConfig(o.Budget), o.FE), s)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			mt, err := runModel(o, tcache.New(tcache.DefaultConfig(o.Budget), o.FE), s)
+			if err != nil {
+				return Fig8Row{}, err
+			}
 			return Fig8Row{Workload: w.Name, Suite: w.Suite, XBC: mx.Bandwidth(), TC: mt.Bandwidth()}, nil
 		})
 	if err != nil {
@@ -302,13 +330,15 @@ func Figure9(o Options) (*Fig9Result, error) {
 				if err != nil {
 					return fig9Cell{}, err
 				}
-				x := xbcore.New(xbcore.DefaultConfig(size), o.FE)
-				s.Reset()
-				xm := x.Run(s).UopMissRate()
-				tc := tcache.New(tcache.DefaultConfig(size), o.FE)
-				s.Reset()
-				tm := tc.Run(s).UopMissRate()
-				return fig9Cell{XBC: xm, TC: tm}, nil
+				xm, err := runModel(o, xbcore.New(xbcore.DefaultConfig(size), o.FE), s)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				tm, err := runModel(o, tcache.New(tcache.DefaultConfig(size), o.FE), s)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				return fig9Cell{XBC: xm.UopMissRate(), TC: tm.UopMissRate()}, nil
 			})
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -382,16 +412,19 @@ func Figure10(o Options) (*Fig10Result, error) {
 				xc := xbcore.DefaultConfig(o.Budget)
 				xc.Ways = ways
 				xc.Sets = sizeToSets(o.Budget, xc.Banks*xc.BankUops*ways)
-				x := xbcore.New(xc, o.FE)
-				s.Reset()
-				xm := x.Run(s).UopMissRate()
+				xm, err := runModel(o, xbcore.New(xc, o.FE), s)
+				if err != nil {
+					return fig9Cell{}, err
+				}
 
 				tc := tcache.DefaultConfig(o.Budget)
 				tc.Ways = ways
 				tc.Sets = sizeToSets(o.Budget, tc.MaxUops*ways)
-				s.Reset()
-				tm := tcache.New(tc, o.FE).Run(s).UopMissRate()
-				return fig9Cell{XBC: xm, TC: tm}, nil
+				tm, err := runModel(o, tcache.New(tc, o.FE), s)
+				if err != nil {
+					return fig9Cell{}, err
+				}
+				return fig9Cell{XBC: xm.UopMissRate(), TC: tm.UopMissRate()}, nil
 			})
 		if err != nil && firstErr == nil {
 			firstErr = err

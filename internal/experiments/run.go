@@ -22,6 +22,11 @@ import (
 // the same payload, which is what makes journal replay sound.
 func (o Options) tag(extra string) string {
 	t := fmt.Sprintf("u%d-b%d", o.UopsPerTrace, o.Budget)
+	if o.Fidelity != "" && o.Fidelity != "full" {
+		// Sampled payloads approximate; they must never replay into (or
+		// memo-share with) a full run of the same cell.
+		t += "-" + o.Fidelity
+	}
 	if extra != "" {
 		t += "-" + extra
 	}

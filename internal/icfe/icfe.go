@@ -51,38 +51,10 @@ func (f *Frontend) Name() string {
 	return "ic"
 }
 
-// Run replays the stream through the IC fetch path.
+// Run replays the stream through the IC fetch path: a session stepped
+// straight from start to end.
 func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
-	var m frontend.Metrics
-	path := frontend.NewICPath(f.cfg, f.icCfg)
-	preds := frontend.NewPredictorSet()
-	recs := s.Records()
-	for i := 0; i < len(recs); {
-		// One fetch cycle: up to ports consecutive runs, stopped early by
-		// a misprediction (the re-steer wastes the remaining ports).
-		m.DeliveryFetches++
-		mispredicted := false
-		for p := 0; p < f.ports && i < len(recs) && !mispredicted; p++ {
-			g := path.FetchGroup(recs, i)
-			m.PenaltyCycles += uint64(g.Stall)
-			m.DeliveryPenalty += uint64(g.Stall)
-			m.DeliveredUops += uint64(g.Uops)
-			for k := 0; k < g.N; k++ {
-				r := recs[i+k]
-				m.Insts++
-				m.Uops += uint64(r.NumUops)
-				if out := preds.Resolve(r, &m); out.Mispredicted {
-					m.PenaltyCycles += uint64(f.cfg.MispredictPenalty)
-					m.DeliveryPenalty += uint64(f.cfg.MispredictPenalty)
-					mispredicted = true
-				}
-			}
-			i += g.N
-		}
-	}
-	m.AddExtra("ic_miss_rate", path.MissRate())
-	m.Finalize(f.cfg)
-	return m
+	return frontend.RunSession(f.NewSession(), s.Records())
 }
 
 var _ frontend.Frontend = (*Frontend)(nil)

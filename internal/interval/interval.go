@@ -55,6 +55,12 @@ type Estimate struct {
 	BranchCPKu float64 // misprediction bubbles
 	SupplyCPKu float64 // build-mode and structure-miss cycles
 	TotalCPKu  float64
+
+	// ipcVariance is the uop-weighted variance of per-interval throughput
+	// when the estimate was combined from sampled intervals; unexported so
+	// the serialized shape is identical for full and sampled fidelities
+	// (IPCVariance exposes it).
+	ipcVariance float64
 }
 
 // FromMetrics runs the interval model over one frontend run's metrics.

@@ -27,9 +27,11 @@ type Grid struct {
 	Frontends []string
 	Workloads []string
 	Budgets   []int
-	Uops      uint64
-	Check     bool
-	Core      *interval.CoreConfig
+	// Fidelities is the fidelity-ladder axis; empty defaults to {full}.
+	Fidelities []string
+	Uops       uint64
+	Check      bool
+	Core       *interval.CoreConfig
 }
 
 // WithDefaults returns the grid with empty axes filled.
@@ -42,6 +44,9 @@ func (g Grid) WithDefaults() Grid {
 	}
 	if len(g.Budgets) == 0 {
 		g.Budgets = []int{jobspec.DefaultBudget}
+	}
+	if len(g.Fidelities) == 0 {
+		g.Fidelities = []string{jobspec.FidelityFull}
 	}
 	return g
 }
@@ -56,28 +61,31 @@ type Cell struct {
 }
 
 // Expand canonicalizes the full grid in deterministic order (frontends
-// outer, workloads middle, budgets inner). Validation is all-or-nothing:
-// the first invalid cell fails the whole expansion before any caller
-// enqueues anything.
+// outer, workloads, budgets, fidelities inner). Validation is
+// all-or-nothing: the first invalid cell fails the whole expansion before
+// any caller enqueues anything.
 func Expand(g Grid) ([]Cell, error) {
 	g = g.WithDefaults()
-	cells := make([]Cell, 0, len(g.Frontends)*len(g.Workloads)*len(g.Budgets))
+	cells := make([]Cell, 0, len(g.Frontends)*len(g.Workloads)*len(g.Budgets)*len(g.Fidelities))
 	for _, fe := range g.Frontends {
 		for _, wl := range g.Workloads {
 			for _, budget := range g.Budgets {
-				spec := jobspec.Spec{
-					Frontend: fe,
-					Workload: wl,
-					Budget:   budget,
-					Uops:     g.Uops,
-					Check:    g.Check,
-					Core:     g.Core,
+				for _, fid := range g.Fidelities {
+					spec := jobspec.Spec{
+						Frontend: fe,
+						Workload: wl,
+						Budget:   budget,
+						Fidelity: fid,
+						Uops:     g.Uops,
+						Check:    g.Check,
+						Core:     g.Core,
+					}
+					c, err := Canonicalize(spec)
+					if err != nil {
+						return nil, fmt.Errorf("grid cell %s: %w", spec.Label(), err)
+					}
+					cells = append(cells, c)
 				}
-				c, err := Canonicalize(spec)
-				if err != nil {
-					return nil, fmt.Errorf("grid cell %s: %w", spec.Label(), err)
-				}
-				cells = append(cells, c)
 			}
 		}
 	}

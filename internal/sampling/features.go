@@ -1,0 +1,185 @@
+// Package sampling implements cluster-based sampled simulation: a run is
+// split into fixed-size intervals, each interval is summarized by a cheap
+// feature vector (basic-block length histogram, branch-class mix, working
+// -set signature), the intervals are clustered with a deterministic greedy
+// k-center pass, and only one representative per cluster is simulated in
+// detail — with bounded functional warming before each — while the rest
+// are skipped. The full-run metrics are extrapolated from the
+// representatives with a per-metric error bound derived from the spread
+// across clusters. This is the SimPoint idea adapted to the frontend
+// models in this repository, and it is what the `sampled` fidelity runs.
+package sampling
+
+import (
+	"math"
+
+	"xbc/internal/isa"
+	"xbc/internal/trace"
+)
+
+// Feature vector layout: block-length histogram buckets, branch-class
+// mix, and a hashed working-set signature. Each group is normalized to
+// sum 1 so no group dominates the distance by scale.
+const (
+	numLenBuckets = 6
+	numClassMix   = 6
+	numWSBuckets  = 32
+	featureDim    = numLenBuckets + numClassMix + numWSBuckets
+)
+
+// lenBucket maps a basic-block instruction length to its histogram
+// bucket: 1-2, 3-4, 5-8, 9-16, 17-32, 33+.
+func lenBucket(n int) int {
+	switch {
+	case n <= 2:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 8:
+		return 2
+	case n <= 16:
+		return 3
+	case n <= 32:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// classSlot maps a control-flow class to its mix slot.
+func classSlot(c isa.Class) int {
+	switch c {
+	case isa.CondBranch:
+		return 0
+	case isa.Jump:
+		return 1
+	case isa.Call:
+		return 2
+	case isa.IndirectJump:
+		return 3
+	case isa.IndirectCall:
+		return 4
+	default: // isa.Return
+		return 5
+	}
+}
+
+// wsBucket hashes an instruction address (at 64-byte line granularity)
+// into the working-set signature.
+func wsBucket(ip isa.Addr) int {
+	h := uint64(ip>>6) * 0x9e3779b97f4a7c15
+	return int(h >> 59) // top 5 bits: 32 buckets
+}
+
+// featureVector summarizes recs[start:end): how long its basic blocks
+// are, what ends them, and which code it touches.
+func featureVector(recs []trace.Rec, start, end int) [featureDim]float64 {
+	var v [featureDim]float64
+	blockLen, blocks := 0, 0
+	branches := 0
+	for i := start; i < end; i++ {
+		r := recs[i]
+		blockLen++
+		if r.Class.IsControlFlow() {
+			v[lenBucket(blockLen)]++
+			blocks++
+			blockLen = 0
+			v[numLenBuckets+classSlot(r.Class)]++
+			branches++
+		}
+		v[numLenBuckets+numClassMix+wsBucket(r.IP)]++
+	}
+	if blockLen > 0 {
+		v[lenBucket(blockLen)]++
+		blocks++
+	}
+	normalize(v[:numLenBuckets], blocks)
+	normalize(v[numLenBuckets:numLenBuckets+numClassMix], branches)
+	normalize(v[numLenBuckets+numClassMix:], end-start)
+	return v
+}
+
+func normalize(group []float64, total int) {
+	if total <= 0 {
+		return
+	}
+	for i := range group {
+		group[i] /= float64(total)
+	}
+}
+
+// distance is the Euclidean distance between two feature vectors.
+func distance(a, b *[featureDim]float64) float64 {
+	var d float64
+	for i := range a {
+		x := a[i] - b[i]
+		d += x * x
+	}
+	return math.Sqrt(d)
+}
+
+// kCenter picks up to k representative intervals with the deterministic
+// greedy k-center heuristic: interval 0 seeds the set (it holds the run's
+// cold-start behavior, which no other interval represents), then the
+// interval farthest from its nearest representative joins until k are
+// chosen or every interval is within epsilon of one. Ties break toward
+// the lowest index, so the pick sequence is a pure function of the
+// feature vectors.
+func kCenter(feats [][featureDim]float64, k int) []int {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	reps := []int{0}
+	// dist[i] is the distance from interval i to its nearest rep so far.
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = distance(&feats[i], &feats[0])
+	}
+	const epsilon = 1e-9
+	for len(reps) < k {
+		far, farD := -1, epsilon
+		for i := range dist {
+			if dist[i] > farD {
+				far, farD = i, dist[i]
+			}
+		}
+		if far < 0 {
+			break // everything already well represented
+		}
+		reps = append(reps, far)
+		for i := range dist {
+			if d := distance(&feats[i], &feats[far]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return reps
+}
+
+// assign maps every interval to the nearest representative (ties toward
+// the earliest-picked representative). Cluster 0's representative is
+// interval 0, the run's unique cold-start: once any other representative
+// exists it stands for itself alone, so the cold interval's atypically
+// low throughput is weighted by exactly its own uops instead of biasing
+// the extrapolation of steady-state intervals that happen to share its
+// code footprint.
+func assign(feats [][featureDim]float64, reps []int) []int {
+	out := make([]int, len(feats))
+	for i := range feats {
+		best, bestD := 0, math.Inf(1)
+		for c, r := range reps {
+			if c == 0 && i != 0 && len(reps) > 1 {
+				continue
+			}
+			if d := distance(&feats[i], &feats[r]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -45,6 +45,16 @@ type Job struct {
 
 	Metrics  *frontend.Metrics  `json:"metrics,omitempty"`
 	Estimate *interval.Estimate `json:"estimate,omitempty"`
+
+	// Fidelity marks which rung of the fidelity ladder produced the
+	// metrics ("full", "sampled", "estimate"); ErrorBound carries the
+	// advertised absolute error per derived metric for sampled and
+	// estimate results; SampledUops counts the uops simulated in detail;
+	// SnapshotHit reports that a full run restored a warm-state snapshot.
+	Fidelity    string             `json:"fidelity,omitempty"`
+	ErrorBound  map[string]float64 `json:"error_bound,omitempty"`
+	SampledUops uint64             `json:"sampled_uops,omitempty"`
+	SnapshotHit bool               `json:"snapshot_hit,omitempty"`
 }
 
 // Event is one line of the GET /v1/jobs/{id}/events JSON-lines stream:
@@ -60,12 +70,15 @@ type Event struct {
 // budgets individual jobs (POST /v1/sweeps). Empty dimensions default to
 // {xbc}, all 21 paper workloads, and {32768}.
 type SweepRequest struct {
-	Frontends []string             `json:"frontends,omitempty"`
-	Workloads []string             `json:"workloads,omitempty"`
-	Budgets   []int                `json:"budgets,omitempty"`
-	Uops      uint64               `json:"uops,omitempty"`
-	Check     bool                 `json:"check,omitempty"`
-	Core      *interval.CoreConfig `json:"core,omitempty"`
+	Frontends []string `json:"frontends,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Budgets   []int    `json:"budgets,omitempty"`
+	// Fidelities is the fidelity axis ("full", "sampled", "estimate");
+	// empty defaults to {full}.
+	Fidelities []string             `json:"fidelities,omitempty"`
+	Uops       uint64               `json:"uops,omitempty"`
+	Check      bool                 `json:"check,omitempty"`
+	Core       *interval.CoreConfig `json:"core,omitempty"`
 }
 
 // PlanReport accounts for how the sweep planner served a grid: of the

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+)
+
+// sampledSpec is long enough that the sampled rung really extrapolates
+// (more intervals than clusters) instead of falling back to an exact
+// short-stream run.
+func sampledSpec() jobspec.Spec {
+	s := tinySpec()
+	s.Uops = 120_000
+	s.Fidelity = jobspec.FidelitySampled
+	return s
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts one un-labelled sample value from the exposition.
+func metricValue(t *testing.T, text, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, text)
+	return ""
+}
+
+// Two full-fidelity jobs that differ only in stream length share one
+// warm-state snapshot: the first saves it, the second restores it and
+// reports the hit, with metrics bit-identical to a cold run.
+func TestSnapshotHitAcrossJobs(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	first := tinySpec()
+	first.Uops = 220_000 // warmup capped at 100k, shared with second
+	resp := postJSON(t, ts.URL+"/v1/jobs", first)
+	sub := decodeBody[api.SubmitResponse](t, resp)
+	if job := waitJob(t, ts.URL, sub.ID); job.State != "done" {
+		t.Fatalf("first job state = %q (%s)", job.State, job.Error)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, m, "xbcd_snapshot_saves_total"); v == "0" {
+		t.Fatalf("no snapshot saved after first full run:\n%s", m)
+	}
+
+	second := tinySpec()
+	second.Uops = 210_000 // same warmup (100k) => same snapshot key
+	resp = postJSON(t, ts.URL+"/v1/jobs", second)
+	sub2 := decodeBody[api.SubmitResponse](t, resp)
+	if sub2.ID == sub.ID {
+		t.Fatal("different stream lengths must be different jobs")
+	}
+	job2 := waitJob(t, ts.URL, sub2.ID)
+	if job2.State != "done" {
+		t.Fatalf("second job state = %q (%s)", job2.State, job2.Error)
+	}
+	if !job2.SnapshotHit {
+		t.Fatal("second job did not report restoring the warm-state snapshot")
+	}
+	m = scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, m, "xbcd_snapshot_hits_total"); v == "0" {
+		t.Fatalf("snapshot hit counter never moved:\n%s", m)
+	}
+
+	// The shortcut must be invisible in the result.
+	direct, err := jobspec.Execute(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.Metrics == nil || !reflect.DeepEqual(*job2.Metrics, direct.Metrics) {
+		t.Fatalf("snapshot-restored metrics differ from direct run:\nserved %+v\ndirect %+v", job2.Metrics, direct.Metrics)
+	}
+}
+
+// A sweep with a fidelity axis fans each cell out per rung; the sampled
+// job advertises its error bound and simulates a strict subset of the
+// uops, and the per-fidelity job counter moves.
+func TestSweepFidelityAxis(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJSON(t, ts.URL+"/v1/sweeps", api.SweepRequest{
+		Workloads:  []string{"straightline"},
+		Budgets:    []int{4096},
+		Uops:       120_000,
+		Fidelities: []string{"full", "sampled"},
+	})
+	sw := decodeBody[api.SweepResponse](t, resp)
+	if len(sw.Jobs) != 2 || sw.Jobs[0].ID == sw.Jobs[1].ID {
+		t.Fatalf("fidelity axis did not fan out two distinct jobs: %+v", sw.Jobs)
+	}
+	byFid := map[string]api.Job{}
+	for _, sr := range sw.Jobs {
+		j := waitJob(t, ts.URL, sr.ID)
+		if j.State != "done" {
+			t.Fatalf("job %s state = %q (%s)", sr.ID, j.State, j.Error)
+		}
+		byFid[j.Fidelity] = j
+	}
+	full, ok := byFid[jobspec.FidelityFull]
+	if !ok {
+		t.Fatalf("no full-fidelity job in %v", byFid)
+	}
+	samp, ok := byFid[jobspec.FidelitySampled]
+	if !ok {
+		t.Fatalf("no sampled job in %v", byFid)
+	}
+	if len(samp.ErrorBound) == 0 {
+		t.Fatal("sampled job carries no error bound")
+	}
+	if samp.SampledUops == 0 || samp.SampledUops >= full.Metrics.Uops {
+		t.Fatalf("sampled job simulated %d of %d uops, want a strict subset", samp.SampledUops, full.Metrics.Uops)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		`xbcd_jobs_fidelity_total{fidelity="full"} 1`,
+		`xbcd_jobs_fidelity_total{fidelity="sampled"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// An exact result satisfies a request for an approximation, but never
+// the other way around.
+func TestFullSatisfiesSampled(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Full first: the later sampled submission is answered by the exact
+	// result, as a cache hit on the full job.
+	full := sampledSpec()
+	full.Fidelity = ""
+	sub := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", full))
+	if job := waitJob(t, ts.URL, sub.ID); job.State != "done" {
+		t.Fatalf("full job state = %q (%s)", job.State, job.Error)
+	}
+	got := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", sampledSpec()))
+	if got.Status != api.SubmitCached || got.ID != sub.ID {
+		t.Fatalf("sampled submission = %+v, want cached full job %s", got, sub.ID)
+	}
+	if job := waitJob(t, ts.URL, got.ID); job.Fidelity != jobspec.FidelityFull {
+		t.Fatalf("sampled submission served fidelity %q, want full", job.Fidelity)
+	}
+
+	// Sampled first, on a different cell: the later full submission must
+	// NOT be served the approximation.
+	samp := sampledSpec()
+	samp.Workload = "loopnest"
+	sub2 := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", samp))
+	if job := waitJob(t, ts.URL, sub2.ID); job.State != "done" || job.Fidelity != jobspec.FidelitySampled {
+		t.Fatalf("sampled job = %q fidelity %q (%s)", job.State, job.Fidelity, job.Error)
+	}
+	fullSib := samp
+	fullSib.Fidelity = ""
+	sub3 := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", fullSib))
+	if sub3.Status == api.SubmitCached || sub3.ID == sub2.ID {
+		t.Fatalf("full submission aliased the sampled result: %+v", sub3)
+	}
+	if job := waitJob(t, ts.URL, sub3.ID); job.State != "done" || job.Fidelity != jobspec.FidelityFull {
+		t.Fatalf("full sibling = %q fidelity %q (%s)", job.State, job.Fidelity, job.Error)
+	}
+}
+
+// With UpgradeSampled on, a completed sampled job chases itself with a
+// background full-fidelity run; once that lands, resubmissions of the
+// sampled spec are served the exact result.
+func TestUpgradeSampled(t *testing.T) {
+	_, ts := newTestServer(t, Options{UpgradeSampled: true})
+	sub := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", sampledSpec()))
+	job := waitJob(t, ts.URL, sub.ID)
+	if job.State != "done" || job.Fidelity != jobspec.FidelitySampled {
+		t.Fatalf("sampled job = %q fidelity %q (%s)", job.State, job.Fidelity, job.Error)
+	}
+
+	// The upgrade runs in the background; poll resubmissions until the
+	// full result shadows the sampled one.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := decodeBody[api.SubmitResponse](t, postJSON(t, ts.URL+"/v1/jobs", sampledSpec()))
+		if got.Status == api.SubmitCached && got.ID != sub.ID {
+			if j := waitJob(t, ts.URL, got.ID); j.Fidelity != jobspec.FidelityFull {
+				t.Fatalf("upgraded job fidelity = %q, want full", j.Fidelity)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("full upgrade never landed; last submission %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

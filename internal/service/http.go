@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"xbc/internal/planner/grid"
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
+	"xbc/internal/snapshot"
 )
 
 // Handler returns the service's HTTP API:
@@ -138,12 +140,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cells, err := grid.Expand(grid.Grid{
-		Frontends: req.Frontends,
-		Workloads: req.Workloads,
-		Budgets:   req.Budgets,
-		Uops:      req.Uops,
-		Check:     req.Check,
-		Core:      req.Core,
+		Frontends:  req.Frontends,
+		Workloads:  req.Workloads,
+		Budgets:    req.Budgets,
+		Fidelities: req.Fidelities,
+		Uops:       req.Uops,
+		Check:      req.Check,
+		Core:       req.Core,
 	})
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
@@ -232,10 +235,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	var b strings.Builder
 	b.WriteString(s.reg.render(s.QueueDepth(), s.cache.len()))
+	if s.snap != nil {
+		renderSnapshotMetrics(&b, s.snap.Stats())
+	}
 	if s.persist != nil {
 		s.persist.renderMetrics(&b)
 	}
 	if _, err := w.Write([]byte(b.String())); err != nil {
 		return // client gone
 	}
+}
+
+// renderSnapshotMetrics appends the warm-state snapshot counters.
+func renderSnapshotMetrics(b *strings.Builder, st snapshot.Stats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xbcd_snapshot_hits_total", "full runs that restored a warm-state snapshot", st.Hits)
+	counter("xbcd_snapshot_misses_total", "snapshot lookups that found nothing", st.Misses)
+	counter("xbcd_snapshot_saves_total", "warm-state snapshots captured", st.Saves)
+	counter("xbcd_snapshot_decode_errors_total", "snapshot blobs dropped as corrupt or stale", st.DecodeErrors)
 }

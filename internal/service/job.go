@@ -4,8 +4,6 @@ import (
 	"sync"
 	"time"
 
-	"xbc/internal/frontend"
-	"xbc/internal/interval"
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
 )
@@ -65,8 +63,7 @@ type Job struct {
 	state    JobState
 	err      string
 	attempts int
-	metrics  *frontend.Metrics
-	estimate *interval.Estimate
+	res      *jobspec.Result
 	events   []api.Event
 	notify   chan struct{} // closed and replaced on every event
 	done     chan struct{} // closed once terminal
@@ -113,9 +110,7 @@ func (j *Job) transition(state JobState, now time.Time, msg string) {
 // complete records a successful result and transitions to done.
 func (j *Job) complete(res jobspec.Result, attempts int, now time.Time) {
 	j.mu.Lock()
-	m := res.Metrics
-	j.metrics = &m
-	j.estimate = res.Estimate
+	j.res = &res
 	j.attempts = attempts
 	j.mu.Unlock()
 	j.transition(JobDone, now, "")
@@ -178,13 +173,17 @@ func (j *Job) Snapshot() api.Job {
 		StartedAtMS:   unixMS(j.started),
 		FinishedAtMS:  unixMS(j.finished),
 	}
-	if j.metrics != nil {
-		m := *j.metrics
+	if j.res != nil {
+		m := j.res.Metrics
 		out.Metrics = &m
-	}
-	if j.estimate != nil {
-		e := *j.estimate
-		out.Estimate = &e
+		if j.res.Estimate != nil {
+			e := *j.res.Estimate
+			out.Estimate = &e
+		}
+		out.Fidelity = j.res.EffectiveFidelity()
+		out.ErrorBound = j.res.ErrorBound
+		out.SampledUops = j.res.SampledUops
+		out.SnapshotHit = j.res.SnapshotHit
 	}
 	return out
 }
@@ -194,15 +193,21 @@ func (j *Job) Snapshot() api.Job {
 func (j *Job) result() (jobspec.Result, int, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != JobDone || j.metrics == nil {
+	if j.state != JobDone || j.res == nil {
 		return jobspec.Result{}, 0, false
 	}
-	res := jobspec.Result{Metrics: *j.metrics}
-	if j.estimate != nil {
-		e := *j.estimate
-		res.Estimate = &e
+	return *j.res, j.attempts, true
+}
+
+// resultFidelity reports the fidelity of a completed job's result, for
+// the per-fidelity outcome counters; "" when the job is not done.
+func (j *Job) resultFidelity() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone || j.res == nil {
+		return ""
 	}
-	return res, j.attempts, true
+	return j.res.EffectiveFidelity()
 }
 
 // latency returns the started->finished wall time, or false when the job

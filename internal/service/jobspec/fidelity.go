@@ -1,0 +1,287 @@
+// Fidelity ladder: how Execute trades exactness for throughput.
+//
+//   - full: every uop through the cycle-level model. Exact. When a
+//     snapshot manager is attached the warmup prefix is restored from a
+//     warm-state snapshot instead of re-simulated — an exact shortcut
+//     (the restore→continue property test guarantees bit-identity), not
+//     an approximation.
+//   - sampled: cluster-based sampled simulation (internal/sampling):
+//     representative intervals in detail, functional warming in between,
+//     extrapolated metrics with a per-metric error bound.
+//   - estimate: the same machinery degenerated to a single representative
+//     window with a widened bound — the cheapest rung, for coarse sweeps.
+package jobspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xbc/internal/frontend"
+	"xbc/internal/sampling"
+	"xbc/internal/snapshot"
+	"xbc/internal/trace"
+)
+
+// Fidelity rungs. The empty string means full: Normalize folds "full"
+// into "" so specs submitted before the ladder existed keep their keys.
+const (
+	FidelityFull     = "full"
+	FidelitySampled  = "sampled"
+	FidelityEstimate = "estimate"
+)
+
+// Fidelities returns the rungs in decreasing-exactness order.
+func Fidelities() []string { return []string{FidelityFull, FidelitySampled, FidelityEstimate} }
+
+// ValidFidelity reports whether f names a fidelity rung ("" is full).
+func ValidFidelity(f string) bool {
+	switch f {
+	case "", FidelityFull, FidelitySampled, FidelityEstimate:
+		return true
+	default:
+		return false
+	}
+}
+
+// SamplingConfig returns the sampling configuration a fidelity rung runs
+// with. Full does not sample; it gets the default config for reference.
+func SamplingConfig(fidelity string) sampling.Config {
+	return sampling.ConfigFor(fidelity)
+}
+
+// snapMgr is the process-wide warm-state snapshot manager, attached by
+// the service (mirroring experiments.SetCorpusStore). nil disables
+// snapshotting; Execute then simulates warmup like it always did.
+var snapMgr atomic.Pointer[snapshot.Manager]
+
+// SetSnapshotManager attaches (or, with nil, detaches) the warm-state
+// snapshot manager consulted by full-fidelity Execute runs.
+func SetSnapshotManager(m *snapshot.Manager) { snapMgr.Store(m) }
+
+// ClearSnapshotManager detaches m if it is still the attached manager; a
+// manager attached later by someone else is left in place (the same
+// contract as experiments.ClearCorpusStore).
+func ClearSnapshotManager(m *snapshot.Manager) { snapMgr.CompareAndSwap(m, nil) }
+
+// SnapshotManager returns the attached manager, or nil.
+func SnapshotManager() *snapshot.Manager { return snapMgr.Load() }
+
+// maxSnapshotWarmup caps the warm-state capture point. The cap, not the
+// run length, is what makes snapshots shareable: every run of at least
+// twice the cap captures (and can restore) the same prefix state.
+const maxSnapshotWarmup = 100_000
+
+// SnapshotWarmupUops is the warm-state capture point for a run of the
+// given length: half the run, capped at maxSnapshotWarmup so long runs
+// share snapshots and short runs still spend most of their budget past
+// the capture point.
+func SnapshotWarmupUops(uops uint64) uint64 {
+	if w := uops / 2; w < maxSnapshotWarmup {
+		return w
+	}
+	return maxSnapshotWarmup
+}
+
+// SnapshotKey content-addresses the warm state a run of this spec can
+// reuse: the normalized spec minus the run length — the trace generator
+// is a deterministic walker, so specs differing only in Uops share a
+// stream prefix and hence warm state — and minus the post-run analysis
+// knobs (Core) and the rung (Fidelity) that don't shape simulator state;
+// plus the warmup point and the snapshot format version, so a format bump
+// or a different capture point misses instead of misrestoring.
+func (s Spec) SnapshotKey() (string, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return "", err
+	}
+	warmup := SnapshotWarmupUops(n.Uops)
+	n.Workload = "" // the resolved program is the trace identity
+	n.Uops = 0
+	n.Fidelity = ""
+	n.Core = nil
+	b, err := json.Marshal(struct {
+		Spec    Spec   `json:"spec"`
+		Warmup  uint64 `json:"warmup"`
+		Version uint32 `json:"version"`
+	}{n, warmup, snapshot.Version})
+	if err != nil {
+		return "", fmt.Errorf("jobspec: canonicalizing snapshot key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// executeFull runs the exact cycle-level simulation, through the session
+// path with snapshot probe/capture when a manager is attached and the
+// frontend supports sessions, and through plain RunSafe otherwise. The
+// metrics are bit-identical either way.
+func executeFull(n Spec, fe frontend.Frontend, stream *trace.Stream) (Result, error) {
+	sf, ok := fe.(frontend.SessionFrontend)
+	mgr := SnapshotManager()
+	// The checker validates cycle-level invariants over the whole run;
+	// restoring past its observation window would blind it, so checked
+	// runs never use snapshots.
+	if !ok || mgr == nil || n.Check {
+		m, err := frontend.RunSafe(fe, stream)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Metrics: m, Fidelity: FidelityFull}, nil
+	}
+	key, err := n.SnapshotKey()
+	if err != nil {
+		return Result{}, err
+	}
+	m, hit, err := runFullWithSnapshot(sf, stream.Records(), key, SnapshotWarmupUops(n.Uops), mgr)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Metrics: m, Fidelity: FidelityFull, SnapshotHit: hit}, nil
+}
+
+// runFullWithSnapshot is the session-based full run: restore warm state
+// under key if the manager has it, else simulate the warmup prefix and
+// capture it, then simulate to the end. Panics are isolated exactly like
+// frontend.RunSafe.
+func runFullWithSnapshot(sf frontend.SessionFrontend, recs []trace.Rec, key string, warmup uint64, mgr *snapshot.Manager) (m frontend.Metrics, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, hit = frontend.Metrics{}, false
+			err = fmt.Errorf("jobspec: %s session fault: %v", sf.Name(), r)
+		}
+	}()
+	ses := sf.NewSession()
+	if blob, ok := mgr.Load(key); ok {
+		if restored := restoreSession(sf, blob, len(recs)); restored != nil {
+			ses, hit = restored, true
+		} else {
+			mgr.Invalidate(key)
+		}
+	}
+	if !hit && warmup > 0 {
+		if warmIdx := recIndexAtUops(recs, warmup); warmIdx > 0 && warmIdx < len(recs) {
+			ses.StepTo(recs, warmIdx)
+			var w snapshot.Writer
+			ses.SaveState(&w)
+			mgr.Save(key, snapshot.Seal(w.Bytes()))
+		}
+	}
+	ses.StepTo(recs, len(recs))
+	return ses.Finish(), hit, nil
+}
+
+// restoreSession opens and decodes a snapshot blob into a fresh session,
+// returning nil if the blob is unusable (corrupt, version-skewed, or
+// positioned at or beyond this run's end).
+func restoreSession(sf frontend.SessionFrontend, blob []byte, limit int) frontend.Session {
+	payload, err := snapshot.Open(blob)
+	if err != nil {
+		return nil
+	}
+	ses := sf.NewSession()
+	if err := ses.LoadState(snapshot.NewReader(payload)); err != nil {
+		return nil
+	}
+	if pos := ses.Pos(); pos <= 0 || pos >= limit {
+		return nil
+	}
+	return ses
+}
+
+// recIndexAtUops returns the first record index at which at least uops
+// uops have been consumed.
+func recIndexAtUops(recs []trace.Rec, uops uint64) int {
+	var u uint64
+	for i, r := range recs {
+		if u >= uops {
+			return i
+		}
+		u += uint64(r.NumUops)
+	}
+	return len(recs)
+}
+
+// analysisKey identifies one memoized stream analysis: the stream is a
+// deterministic function of (workload, uops), the analysis of the stream
+// and the interval configuration.
+type analysisKey struct {
+	workload string
+	uops     uint64
+	interval int
+	clusters int
+}
+
+// analysisCache memoizes sampling.Analyze across Execute calls. The
+// analysis is frontend-independent and the dominant cost of a sampled
+// cell, so a sweep fanning budgets or frontends out over one workload
+// pays it once. Bounded FIFO; entries are immutable once inserted.
+var analysisCache = struct {
+	sync.Mutex
+	m     map[analysisKey]sampling.Analysis
+	order []analysisKey
+}{m: map[analysisKey]sampling.Analysis{}}
+
+const analysisCacheMax = 64
+
+// analyzeCached returns the memoized analysis for the cell, computing
+// and inserting it on a miss. Concurrent misses on one key duplicate the
+// work but stay correct: Analyze is deterministic, so both results are
+// identical and either may win the insert.
+func analyzeCached(n Spec, recs []trace.Rec, cfg sampling.Config) (sampling.Analysis, error) {
+	key := analysisKey{workload: n.Workload, uops: n.Uops, interval: cfg.IntervalUops, clusters: cfg.MaxClusters}
+	analysisCache.Lock()
+	a, ok := analysisCache.m[key]
+	analysisCache.Unlock()
+	if ok {
+		return a, nil
+	}
+	a, err := sampling.Analyze(recs, cfg)
+	if err != nil {
+		return sampling.Analysis{}, err
+	}
+	analysisCache.Lock()
+	defer analysisCache.Unlock()
+	if _, ok := analysisCache.m[key]; !ok {
+		analysisCache.m[key] = a
+		analysisCache.order = append(analysisCache.order, key)
+		if len(analysisCache.order) > analysisCacheMax {
+			delete(analysisCache.m, analysisCache.order[0])
+			analysisCache.order = analysisCache.order[1:]
+		}
+	}
+	return a, nil
+}
+
+// executeSampled runs the sampled or estimate rung through
+// internal/sampling, with the same panic isolation as a full run.
+func executeSampled(n Spec, fe frontend.Frontend, stream *trace.Stream) (res Result, err error) {
+	sf, ok := fe.(frontend.SessionFrontend)
+	if !ok {
+		return Result{}, fmt.Errorf("jobspec: frontend %s does not support %s fidelity", fe.Name(), n.Fidelity)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = fmt.Errorf("jobspec: %s sampled fault: %v", sf.Name(), r)
+		}
+	}()
+	cfg := SamplingConfig(n.Fidelity)
+	a, err := analyzeCached(n, stream.Records(), cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sr, err := sampling.RunAnalyzed(sf, stream.Records(), frontend.DefaultConfig(), cfg, a)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Metrics:     sr.Metrics,
+		Fidelity:    n.Fidelity,
+		ErrorBound:  sr.ErrorBound,
+		SampledUops: sr.SimulatedUops,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package jobspec
+
+import "testing"
+
+// The fidelity-ladder benchmark: one cell (gcc, 1M uops, 32K XBC) run at
+// each rung, recorded by `make bench-fidelity` into BENCH_PR9.json.
+// "uops/s" is effective throughput — stream uops served per wall second,
+// which is what the sampled rung buys. "simuops/op" counts the uops
+// simulated in detail; it is deterministic, so the compare gate rejects
+// any growth at all. The sampled rung also asserts the acceptance bound
+// inline: at most 10% of the full run's uops.
+func benchFidelity(b *testing.B, fidelity string) {
+	spec := Spec{Frontend: KindXBC, Workload: "gcc", Uops: DefaultUops, Budget: DefaultBudget, Fidelity: fidelity}
+	b.ReportAllocs()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sim := res.SampledUops
+	if res.EffectiveFidelity() == FidelityFull {
+		sim = res.Metrics.Uops
+	}
+	if fidelity == FidelitySampled && sim*10 > res.Metrics.Uops {
+		b.Fatalf("sampled rung simulated %d of %d uops, past the 10%% acceptance gate", sim, res.Metrics.Uops)
+	}
+	b.ReportMetric(float64(sim), "simuops/op")
+	b.ReportMetric(float64(res.Metrics.Uops)*float64(b.N)/b.Elapsed().Seconds(), "uops/s")
+}
+
+func BenchmarkFidelityFull(b *testing.B)     { benchFidelity(b, FidelityFull) }
+func BenchmarkFidelitySampled(b *testing.B)  { benchFidelity(b, FidelitySampled) }
+func BenchmarkFidelityEstimate(b *testing.B) { benchFidelity(b, FidelityEstimate) }

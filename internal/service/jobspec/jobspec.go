@@ -74,16 +74,46 @@ type Spec struct {
 	Ports int `json:"ports,omitempty"`
 	// Check enables the XBC cycle-level invariant checker (xbc only).
 	Check bool `json:"check,omitempty"`
+	// Fidelity selects the rung of the fidelity ladder: "" or "full" is
+	// the exact cycle-level run (the default), "sampled" simulates only
+	// representative intervals and extrapolates with an error bound, and
+	// "estimate" is the cheapest single-window extrapolation with the
+	// widest bound. Check forces full.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Core, when set, additionally runs first-order interval analysis over
 	// the run's metrics and attaches the IPC estimate to the result.
 	Core *interval.CoreConfig `json:"core,omitempty"`
 }
 
 // Result is one executed job: the frontend metrics, plus the interval
-// estimate when the spec carried a core config.
+// estimate when the spec carried a core config, plus the fidelity the
+// metrics were produced at and its advertised error bound.
 type Result struct {
 	Metrics  frontend.Metrics   `json:"metrics"`
 	Estimate *interval.Estimate `json:"estimate,omitempty"`
+	// Fidelity records which rung produced the metrics ("full", "sampled"
+	// or "estimate"). Results stored before the fidelity ladder existed
+	// carry ""; read it through EffectiveFidelity.
+	Fidelity string `json:"fidelity,omitempty"`
+	// ErrorBound maps derived-metric names ("ipc", "uop_miss_rate") to the
+	// absolute error the extrapolation advertises. Set for sampled and
+	// estimate results; full results are exact and carry none.
+	ErrorBound map[string]float64 `json:"error_bound,omitempty"`
+	// SampledUops counts the uops simulated in detail by a sampled or
+	// estimate run (the rest were skipped or functionally warmed).
+	SampledUops uint64 `json:"sampled_uops,omitempty"`
+	// SnapshotHit reports that a full run restored a warm-state snapshot
+	// instead of re-simulating its warmup prefix.
+	SnapshotHit bool `json:"snapshot_hit,omitempty"`
+}
+
+// EffectiveFidelity normalizes the recorded fidelity: results written
+// before the ladder existed ("") were full runs.
+func (r Result) EffectiveFidelity() string {
+	if r.Fidelity == "" {
+		return FidelityFull
+	}
+	return r.Fidelity
 }
 
 // Normalize returns a copy with defaults filled and the workload name
@@ -107,6 +137,12 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.Check && s.Frontend != KindXBC {
 		s.Check = false
+	}
+	if s.Fidelity == FidelityFull {
+		s.Fidelity = "" // full is the default; "" keeps pre-ladder keys stable
+	}
+	if s.Check {
+		s.Fidelity = "" // the invariant checker needs the exact cycle-level run
 	}
 	if s.Program == nil && s.Workload != "" {
 		if w, ok := ResolveWorkload(s.Workload); ok {
@@ -134,6 +170,10 @@ func (s Spec) Validate() error {
 	}
 	if s.Uops == 0 {
 		return fmt.Errorf("jobspec: uops must be positive")
+	}
+	if !ValidFidelity(s.Fidelity) {
+		return fmt.Errorf("jobspec: unknown fidelity %q (want one of %s)",
+			s.Fidelity, strings.Join(Fidelities(), ", "))
 	}
 	return nil
 }
@@ -229,6 +269,11 @@ func (s Spec) NewFrontend() (frontend.Frontend, error) {
 // estimate is attached when the spec carries a core config. This is the
 // one execution path behind the service worker, xbcctl selfcheck, and a
 // direct CLI run of the same spec — bit-identical by construction.
+//
+// The spec's Fidelity routes the run: full runs simulate every uop (and,
+// when a snapshot manager is attached, skip the warmup prefix via a
+// warm-state snapshot — an exact shortcut, not an approximation); sampled
+// and estimate runs go through internal/sampling and carry an error bound.
 func Execute(s Spec) (Result, error) {
 	n := s.Normalize()
 	if err := n.Validate(); err != nil {
@@ -242,13 +287,18 @@ func Execute(s Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := frontend.RunSafe(fe, stream)
+	var res Result
+	switch n.Fidelity {
+	case FidelitySampled, FidelityEstimate:
+		res, err = executeSampled(n, fe, stream)
+	default:
+		res, err = executeFull(n, fe, stream)
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Metrics: m}
 	if n.Core != nil {
-		est, err := interval.FromMetrics(m, *n.Core)
+		est, err := interval.FromMetrics(res.Metrics, *n.Core)
 		if err != nil {
 			return Result{}, err
 		}

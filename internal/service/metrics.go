@@ -32,6 +32,7 @@ type metricsReg struct {
 	inflight  int64  // jobs currently executing
 	outcomes  map[string]uint64
 	latency   map[string]*latencyHist // frontend kind -> histogram
+	fidelity  map[string]uint64       // completed jobs per fidelity rung
 
 	// Sweep-planner accounting (POST /v1/sweeps): per-cell dispositions
 	// summed across sweeps, plus whole-sweep counters.
@@ -54,6 +55,7 @@ func newMetricsReg() *metricsReg {
 	return &metricsReg{
 		outcomes: make(map[string]uint64),
 		latency:  make(map[string]*latencyHist),
+		fidelity: make(map[string]uint64),
 	}
 }
 
@@ -84,10 +86,14 @@ func (r *metricsReg) inflightAdd(d int64) {
 }
 
 // outcome tallies a terminal state and, when the job ran, its latency.
-func (r *metricsReg) outcome(state string, feKind string, lat time.Duration, ok bool) {
+// fidelity is the completed result's rung ("" for non-done jobs).
+func (r *metricsReg) outcome(state string, feKind string, fidelity string, lat time.Duration, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.outcomes[state]++
+	if fidelity != "" {
+		r.fidelity[fidelity]++
+	}
 	if !ok {
 		return
 	}
@@ -155,6 +161,17 @@ func (r *metricsReg) render(queueDepth, cacheEntries int) string {
 	gauge("xbcd_queue_depth", "jobs queued and not yet claimed by a worker", int64(queueDepth))
 	gauge("xbcd_jobs_inflight", "jobs currently executing", r.inflight)
 	gauge("xbcd_cache_entries", "terminal jobs retained by the result cache", int64(cacheEntries))
+
+	fmt.Fprintf(&b, "# HELP xbcd_jobs_fidelity_total completed jobs by fidelity rung\n# TYPE xbcd_jobs_fidelity_total counter\n")
+	var fids []string
+	//xbc:ignore nondeterm key collection; sorted before rendering
+	for k := range r.fidelity {
+		fids = append(fids, k)
+	}
+	sort.Strings(fids)
+	for _, k := range fids {
+		fmt.Fprintf(&b, "xbcd_jobs_fidelity_total{fidelity=%q} %d\n", k, r.fidelity[k])
+	}
 
 	fmt.Fprintf(&b, "# HELP xbcd_jobs_total terminal jobs by outcome\n# TYPE xbcd_jobs_total counter\n")
 	var outcomes []string

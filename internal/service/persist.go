@@ -25,10 +25,12 @@ import (
 //
 //	r:<job content key>      persisted job result (JSON storedResult)
 //	c:<corpus content key>   generated trace stream (.xtr bytes)
+//	s:<snapshot key>         warm-state snapshot (sealed snapshot blob)
 
 const (
-	resultKeyPrefix = "r:"
-	corpusKeyPrefix = "c:"
+	resultKeyPrefix   = "r:"
+	corpusKeyPrefix   = "c:"
+	snapshotKeyPrefix = "s:"
 )
 
 // storedResult is the persisted form of one completed job. The spec is
@@ -213,6 +215,20 @@ func (p *persister) Load(key string) ([]byte, bool) {
 // deterministically regenerable from the spec.
 func (p *persister) Save(key string, val []byte) {
 	p.enqueue(persistItem{key: corpusKeyPrefix + key, val: val})
+}
+
+// snapshotBacking adapts the persister to snapshot.Backing under the
+// "s:" namespace: warm-state blobs read through synchronously (they save
+// a warmup simulation) and write behind (pure optimization, regenerable,
+// never journaled).
+type snapshotBacking struct{ p *persister }
+
+func (b snapshotBacking) Load(key string) ([]byte, bool) {
+	return b.p.st.Get(snapshotKeyPrefix + key)
+}
+
+func (b snapshotBacking) Save(key string, val []byte) {
+	b.p.enqueue(persistItem{key: snapshotKeyPrefix + key, val: val})
 }
 
 // health summarizes the store for /healthz: "ok" or "degraded".

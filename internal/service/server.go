@@ -30,6 +30,7 @@ import (
 	"xbc/internal/runner"
 	"xbc/internal/service/api"
 	"xbc/internal/service/jobspec"
+	"xbc/internal/snapshot"
 	"xbc/internal/store"
 )
 
@@ -68,6 +69,14 @@ type Options struct {
 	// MaxUops caps the per-job stream length a submission may request
 	// (default 50M) — the one resource limit validation alone cannot set.
 	MaxUops uint64
+	// SnapshotEntries bounds the in-memory warm-state snapshot cache
+	// (default 64; negative disables snapshotting). Snapshots are an exact
+	// shortcut: a full run restoring one is bit-identical to a cold run.
+	SnapshotEntries int
+	// UpgradeSampled, when set, resubmits the full-fidelity sibling of
+	// every completed sampled/estimate job, so approximate answers served
+	// immediately are upgraded to exact ones in the background.
+	UpgradeSampled bool
 	// Clock stamps job lifecycle events. The daemon binds time.Now here;
 	// leaving it nil (tests) makes all timestamps zero.
 	Clock Clock
@@ -102,6 +111,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxUops == 0 {
 		o.MaxUops = 50_000_000
 	}
+	if o.SnapshotEntries == 0 {
+		o.SnapshotEntries = 64
+	}
 	if o.Exec == nil {
 		o.Exec = jobspec.Execute
 	}
@@ -114,7 +126,8 @@ type Server struct {
 	queue   *queue
 	cache   *resultCache
 	reg     *metricsReg
-	persist *persister // nil when no store is configured
+	persist *persister        // nil when no store is configured
+	snap    *snapshot.Manager // nil when snapshotting is disabled
 
 	mu   sync.Mutex
 	jobs map[string]*Job // every retained job: queued, running, and cached terminal
@@ -139,6 +152,14 @@ func New(opts Options) *Server {
 	if opts.Store != nil {
 		s.persist = newPersister(opts.Store, opts.Journal)
 		experiments.SetCorpusStore(s.persist)
+	}
+	if opts.SnapshotEntries > 0 {
+		var backing snapshot.Backing
+		if s.persist != nil {
+			backing = snapshotBacking{s.persist}
+		}
+		s.snap = snapshot.NewManager(opts.SnapshotEntries, backing)
+		jobspec.SetSnapshotManager(s.snap)
 	}
 	for shard := 0; shard < opts.Shards; shard++ {
 		for w := 0; w < opts.WorkersPerShard; w++ {
@@ -216,7 +237,29 @@ func (s *Server) submitKeyed(n jobspec.Spec, key string) (*Job, submitOutcome, e
 		return nil, 0, fmt.Errorf("service: %d uops exceeds the per-job cap of %d", n.Uops, s.opts.MaxUops)
 	}
 
+	// A full result satisfies a sampled or estimate request — it is the
+	// exact value every approximate rung advertises a bound around — so
+	// probe the full-fidelity sibling first (the reverse never holds: a
+	// full request is never served from an approximation).
+	var fullSpec jobspec.Spec
+	fullKey := ""
+	if n.Fidelity != "" {
+		fullSpec = n
+		fullSpec.Fidelity = ""
+		if k, err := fullSpec.Key(); err == nil {
+			fullKey = k
+		}
+	}
+
 	s.mu.Lock()
+	if fullKey != "" {
+		if fj, ok := s.jobs[fullKey]; ok && fj.State() == JobDone {
+			s.mu.Unlock()
+			s.cache.get(fullKey) // refresh recency
+			s.reg.submit(api.SubmitCached)
+			return fj, outcomeCacheHit, nil
+		}
+	}
 	if j, ok := s.jobs[key]; ok {
 		terminal := j.State().terminal()
 		s.mu.Unlock()
@@ -233,6 +276,16 @@ func (s *Server) submitKeyed(n jobspec.Spec, key string) (*Job, submitOutcome, e
 	// this is the warm start after a restart, and the backstop when the
 	// LRU evicted a result the store still holds.
 	if s.persist != nil {
+		if fullKey != "" {
+			if res, attempts, ok := s.persist.loadResult(fullKey); ok {
+				j := adoptStored(fullKey, fullSpec, res, attempts, s.opts.Clock.now())
+				s.jobs[fullKey] = j
+				s.mu.Unlock()
+				s.retain(j)
+				s.reg.submit(api.SubmitCached)
+				return j, outcomeStoreHit, nil
+			}
+		}
 		if res, attempts, ok := s.persist.loadResult(key); ok {
 			j := adoptStored(key, n, res, attempts, s.opts.Clock.now())
 			s.jobs[key] = j
@@ -285,6 +338,9 @@ func (s *Server) Drain() {
 		}
 	})
 	s.wg.Wait()
+	if s.snap != nil {
+		jobspec.ClearSnapshotManager(s.snap)
+	}
 	if s.persist != nil {
 		// Workers are done, so nothing produces into the queue anymore;
 		// closing it flushes every pending write before Drain returns.
@@ -364,16 +420,28 @@ func (s *Server) run(j *Job) {
 }
 
 // finish moves a terminal job under result-cache retention, tallies its
-// outcome, and hands completed results to the write-behind flusher.
+// outcome, hands completed results to the write-behind flusher, and —
+// with UpgradeSampled — chases a completed approximate result with its
+// exact full-fidelity sibling.
 func (s *Server) finish(j *Job) {
 	lat, ok := j.latency()
-	s.reg.outcome(j.State().String(), j.Spec.Frontend, lat, ok && j.State() == JobDone)
+	s.reg.outcome(j.State().String(), j.Spec.Frontend, j.resultFidelity(), lat, ok && j.State() == JobDone)
 	if s.persist != nil {
 		if res, attempts, ok := j.result(); ok {
 			s.persist.saveResult(j.ID, res, attempts)
 		}
 	}
 	s.retain(j)
+	if s.opts.UpgradeSampled && j.State() == JobDone && j.Spec.Fidelity != "" {
+		full := j.Spec
+		full.Fidelity = ""
+		if key, err := full.Key(); err == nil {
+			// Best-effort: queue-full or draining just means no upgrade.
+			// push never blocks, so this is safe from a worker goroutine.
+			//xbc:ignore errdrop upgrade is opportunistic; rejection leaves the sampled result standing
+			_, _, _ = s.submitKeyed(full, key)
+		}
+	}
 }
 
 // retain pins a terminal job in the result cache and unpins whatever the

@@ -316,64 +316,10 @@ func (rf *retireFill) flush(cache *Cache) {
 	rf.uops, rf.branches = 0, 0
 }
 
-// Run replays the stream through the trace-cache frontend.
+// Run replays the stream through the trace-cache frontend: a session
+// stepped straight from start to end (see session.go).
 func (f *Frontend) Run(s *trace.Stream) frontend.Metrics {
-	var m frontend.Metrics
-	cache, err := NewCache(f.cfg)
-	if err != nil {
-		panic(err) // geometry was validated at construction
-	}
-	path := frontend.NewICPath(f.fecfg, frontend.DefaultICConfig())
-	preds := frontend.NewPredictorSet()
-	recs := s.Records()
-	var rf *retireFill
-	if f.cfg.PathAssoc {
-		rf = &retireFill{cfg: f.cfg}
-	}
-
-	// Hoisted out of the loop so each lookup does not allocate a closure;
-	// fill is the build-mode trace-assembly scratch, reused per episode.
-	predDir := func(ip isa.Addr) bool { return preds.Dir.Predict(ip) }
-	fill := make([]traceInst, 0, f.cfg.MaxUops)
-	inDelivery := false
-	i := 0
-	//xbc:hot
-	for i < len(recs) {
-		ln, hit := cache.Lookup(recs[i].IP, predDir)
-		if hit {
-			if !inDelivery {
-				inDelivery = true
-				m.ModeSwitches++
-			}
-			j := f.deliver(recs, i, ln, preds, &m)
-			if rf != nil {
-				for k := i; k < j; k++ {
-					rf.feed(recs[k], cache)
-				}
-			}
-			i = j
-			continue
-		}
-		// Build mode: decode from the IC path, assembling a trace.
-		m.StructMisses++
-		if inDelivery {
-			inDelivery = false
-			m.ModeSwitches++
-			// Falling out of delivery redirects fetch into the IC path.
-			m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
-		}
-		j := f.build(recs, i, cache, path, preds, &fill, &m)
-		if rf != nil {
-			// Keep the retirement fill aligned across build episodes.
-			rf.flush(cache)
-		}
-		i = j
-	}
-	m.AddExtra("redundancy", cache.Redundancy())
-	m.AddExtra("fragmentation", cache.Fragmentation())
-	m.AddExtra("ic_miss_rate", path.MissRate())
-	m.Finalize(f.fecfg)
-	return m
+	return frontend.RunSession(f.NewSession(), s.Records())
 }
 
 // deliver supplies uops from the stored trace ln while the predicted path

@@ -129,110 +129,10 @@ func (f *Frontend) RunChecked(s *trace.Stream) (frontend.Metrics, error) {
 }
 
 func (f *Frontend) run(s *trace.Stream) (frontend.Metrics, error) {
-	var m frontend.Metrics
-	cache, err := NewCache(f.cfg)
-	if err != nil {
-		return m, err
-	}
-	st := &runState{
-		cache: cache,
-		xbtb:  NewXBTB(f.cfg),
-		xibtb: NewXiBTB(10, 8),
-		xrsb:  NewXRSB(f.cfg.XRSBDepth),
-		xbp:   f.cfg.newXBP(),
-		path:  frontend.NewICPath(f.fecfg, frontend.DefaultICConfig()),
-	}
-	if f.cfg.NextXB {
-		st.nxb = NewXiBTB(12, 10)
-	}
-	var chk *checker
-	if f.cfg.Check {
-		chk = newChecker(f.cfg, cache, st.xbtb)
-	}
-	recs := s.Records()
-	promoted := func(ip isa.Addr) (bool, bool) {
-		if !f.cfg.Promotion {
-			return false, false
-		}
-		return st.xbtb.PromotedDir(ip)
-	}
-
-	// cur is the per-run cut scratch: its rseq/inner buffers are sized to
-	// the quota up front and reused across iterations, so the
-	// committed-block loop does not allocate — not even on its first
-	// blocks. (inner holds at most one observation per uop, so quota
-	// capacity covers the worst case.)
-	cur := dynXB{
-		rseq:  make([]isa.UopID, 0, f.cfg.Quota),
-		inner: make([]promObs, 0, f.cfg.Quota),
-	}
-	i := 0
-	//xbc:hot
-	for i < len(recs) {
-		cutXBInto(&cur, recs, i, f.cfg.Quota, promoted)
-		if cur.end == cur.start {
-			break // defensive: no progress possible
-		}
-
-		// Resolve how fetch reached cur: predict the previous XB's ending
-		// branch and obtain the pointer along the committed path.
-		follow := f.resolvePrev(st, &cur, &m)
-
-		if st.delivery {
-			if !f.deliverXB(st, &cur, follow, &m) {
-				st.delivery = false
-				m.ModeSwitches++
-				m.StructMisses++
-				st.reasons[st.reason]++
-				// Falling out of delivery redirects fetch into the IC
-				// path (section 3.5's switch to build mode).
-				m.PenaltyCycles += uint64(f.fecfg.BuildEntryPenalty)
-				f.buildXB(st, recs, &cur, &m)
-			}
-		} else {
-			f.buildXB(st, recs, &cur, &m)
-		}
-
-		// Wire pointers from the previous XB to cur and roll the context.
-		f.commit(st, &cur, &m)
-		if chk != nil {
-			if err := chk.afterCommit(&cur, st.prevEntry); err != nil {
-				m.Finalize(f.fecfg)
-				return m, err
-			}
-		}
-		i = cur.end
-	}
-	if chk != nil {
-		if err := chk.sweep(); err != nil {
-			m.Finalize(f.fecfg)
-			return m, err
-		}
-	}
-
-	m.AddExtra("redundancy", st.cache.Redundancy())
-	m.AddExtra("fragmentation", st.cache.Fragmentation())
-	m.AddExtra("ic_miss_rate", st.path.MissRate())
-	m.AddExtra("set_searches", float64(st.cache.SetSearches))
-	m.AddExtra("bank_conflicts", float64(st.bankConflicts))
-	m.AddExtra("promotions", float64(st.xbtb.Promotions))
-	m.AddExtra("depromotions", float64(st.xbtb.Depromotions))
-	m.AddExtra("prom_violations", float64(st.promViolations))
-	m.AddExtra("prom_redirects", float64(st.promRedirects))
-	if st.nxb != nil {
-		m.AddExtra("nxb_hits", float64(st.nxbHits))
-		m.AddExtra("nxb_misses", float64(st.nxbMisses))
-	}
-	m.AddExtra("complex_xbs", float64(st.cache.ComplexXBs))
-	m.AddExtra("extensions", float64(st.cache.Extensions))
-	m.AddExtra("replacements", float64(st.cache.Replacements))
-	for r, v := range st.reasons {
-		if v > 0 {
-			m.AddExtra(reasonKey(abandonReason(r)), float64(v))
-		}
-	}
-	m.Finalize(f.fecfg)
-	return m, nil
+	ses := f.NewSession().(*session)
+	ses.StepTo(s.Records(), len(s.Records()))
+	m := ses.Finish()
+	return m, ses.err
 }
 
 // charge adds a misprediction penalty to the metrics (suppressed in the

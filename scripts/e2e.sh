@@ -58,6 +58,9 @@ echo "e2e: selfcheck — served metrics must equal a direct local run"
 echo "e2e: loadgen — 8 concurrent submitters"
 "$WORK/xbcctl" loadgen -addr "$ADDR" -conc 8 -n 24 -uops 20000
 
+echo "e2e: loadgen — sampled fidelity rung"
+"$WORK/xbcctl" loadgen -addr "$ADDR" -conc 4 -n 12 -uops 120000 -fidelity sampled
+
 echo "e2e: sweep — a duplicated grid must dedup and reuse loadgen's results"
 SWEEP=$("$WORK/xbcctl" sweep -addr "$ADDR" -fe xbc \
   -traces straightline,loopnest,callheavy,straightline,loopnest,callheavy \
@@ -80,23 +83,40 @@ echo "$METRICS" | grep -q 'xbcd_jobs_total{outcome="done"}' || {
   echo "$METRICS" >&2
   exit 1
 }
+# The selfcheck's fidelity phase ran gcc at two lengths; both capture warm
+# state at the same 100k-uop point, so the second full run must have
+# restored the first one's snapshot.
+echo "$METRICS" | grep -q '^xbcd_snapshot_hits_total [1-9]' || {
+  echo "e2e: expected a warm-state snapshot hit in /metrics:" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+echo "$METRICS" | grep -q 'xbcd_jobs_fidelity_total{fidelity="sampled"}' || {
+  echo "e2e: expected sampled-fidelity completions in /metrics:" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
 
-# The selfcheck job plus loadgen's three workloads make four distinct
-# results; wait for the write-behind flusher to land all of them before
-# killing the process, since only flushed writes are promised to survive
-# a SIGKILL under the default fsync mode.
+# Nine distinct results went through the daemon (selfcheck's three gcc
+# cells plus loadgen's three workloads at two rungs), interleaved in the
+# write-behind queue with corpus streams and snapshot blobs. Only flushed
+# writes are promised to survive a SIGKILL under the default fsync mode,
+# so wait until the single FIFO flusher goes quiet (two equal readings at
+# or past the result count) before killing the process.
 echo "e2e: waiting for the write-behind flush"
 i=0
+PREV=-1
 while true; do
   WRITES=$(curl -fsS "$ADDR/metrics" | sed -n 's/^xbcd_store_writes_total //p')
-  [ "${WRITES:-0}" -ge 4 ] && break
+  [ "${WRITES:-0}" -ge 9 ] && [ "${WRITES:-0}" -eq "$PREV" ] && break
+  PREV=${WRITES:-0}
   i=$((i + 1))
   if [ "$i" -gt 100 ]; then
-    echo "e2e: store writes never reached 4 (got ${WRITES:-0}); log:" >&2
+    echo "e2e: store writes never settled at >=9 (got ${WRITES:-0}); log:" >&2
     cat "$WORK/xbcd.log" >&2
     exit 1
   fi
-  sleep 0.1
+  sleep 0.2
 done
 
 echo "e2e: SIGKILL (no drain) and warm restart on the same store"
@@ -122,6 +142,9 @@ echo "e2e: warm selfcheck — restored metrics must equal a direct local run"
 
 echo "e2e: warm loadgen — every submission must be served from the store"
 "$WORK/xbcctl" loadgen -addr "$ADDR" -conc 8 -n 24 -uops 20000
+
+echo "e2e: warm sampled loadgen — persisted approximations must be served back"
+"$WORK/xbcctl" loadgen -addr "$ADDR" -conc 4 -n 12 -uops 120000 -fidelity sampled
 
 echo "e2e: warm-start metrics — zero re-simulations"
 METRICS=$(curl -fsS "$ADDR/metrics")
