@@ -13,8 +13,13 @@
 //	xbcctl cache import -dir /var/lib/xbcd -in results.xbse
 //
 // Every daemon-facing subcommand takes -addr (default
-// http://127.0.0.1:8321); cache export/import operate offline on a
-// store directory (see cache.go). submit
+// http://127.0.0.1:8321), which accepts a comma-separated endpoint
+// list: extra endpoints are failover targets, loadgen round-robins jobs
+// across all of them (reporting per-endpoint latency percentiles), and
+// selfcheck asserts that every endpoint resolves the same spec to the
+// same job and serves bit-identical metrics — the cluster-mode oracle.
+// cache export/import operate offline on a store directory (see
+// cache.go). submit
 // prints the job id and status; -wait polls to the terminal state and
 // prints the full result. loadgen drives concurrent submitters at a fixed
 // rate and reports latency percentiles. selfcheck submits a spec, reruns
@@ -26,10 +31,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -134,7 +141,66 @@ func parseCore(s string) (interval.CoreConfig, error) {
 type client struct{ base string }
 
 func addAddrFlag(fs *flag.FlagSet) *string {
-	return fs.String("addr", "http://127.0.0.1:8321", "xbcd base URL")
+	return fs.String("addr", "http://127.0.0.1:8321",
+		"xbcd base URL, or a comma-separated list (failover; loadgen round-robins; selfcheck cross-checks)")
+}
+
+// newClients parses the -addr value into one client per endpoint.
+func newClients(addr string) []client {
+	var cs []client
+	for _, a := range strings.Split(addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		cs = append(cs, client{strings.TrimRight(a, "/")})
+	}
+	if len(cs) == 0 {
+		log.Fatal("-addr names no endpoints")
+	}
+	return cs
+}
+
+// transportErr reports an error that never reached a daemon (dial
+// failure, connection reset, timeout) — the only class failover retries,
+// since a daemon's own answer, error or not, is authoritative.
+func transportErr(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// lostJob reports a 404 for a job id we were just handed: its node died
+// before (or while) serving the result, so the job must be resubmitted —
+// content-addressed ids make that land on the same logical job.
+func lostJob(err error) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.status == http.StatusNotFound
+}
+
+// failover runs op against each endpoint in turn until one is reachable.
+func failover(cs []client, op func(client) error) error {
+	var err error
+	for _, c := range cs {
+		if err = op(c); err == nil || !transportErr(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// waitAny polls a job to its terminal state, failing over to the next
+// endpoint when the current one becomes unreachable or — after a
+// fallback execution elsewhere — does not know the job.
+func waitAny(cs []client, id string, poll time.Duration) (api.Job, error) {
+	var job api.Job
+	var err error
+	for _, c := range cs {
+		job, err = c.wait(id, poll)
+		if err == nil || !(transportErr(err) || lostJob(err)) {
+			return job, err
+		}
+	}
+	return job, err
 }
 
 func (c client) submit(spec jobspec.Spec) (api.SubmitResponse, error) {
@@ -194,6 +260,15 @@ func (c client) getJSON(path string, out any) error {
 	return decodeResponse(resp, out)
 }
 
+// apiError is a daemon's non-2xx answer with its HTTP status attached,
+// so failover can tell a lost job (404) from a refusal it must surface.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
 // decodeResponse decodes a 2xx JSON body into out, or surfaces the
 // server's error payload.
 func decodeResponse(resp *http.Response, out any) error {
@@ -204,9 +279,9 @@ func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode >= 300 {
 		var e api.Error
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+			return &apiError{resp.StatusCode, fmt.Sprintf("%s: %s", resp.Status, e.Error)}
 		}
-		return fmt.Errorf("server returned %s", resp.Status)
+		return &apiError{resp.StatusCode, fmt.Sprintf("server returned %s", resp.Status)}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -228,16 +303,21 @@ func cmdSubmit(args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	c := client{*addr}
-	sub, err := c.submit(buildSpec())
-	if err != nil {
+	cs := newClients(*addr)
+	spec := buildSpec()
+	var sub api.SubmitResponse
+	if err := failover(cs, func(c client) error {
+		var err error
+		sub, err = c.submit(spec)
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if !*wait {
 		printJSON(sub)
 		return
 	}
-	job, err := c.wait(sub.ID, 50*time.Millisecond)
+	job, err := waitAny(cs, sub.ID, 50*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -306,9 +386,13 @@ func cmdSweep(args []string) {
 		req.Core = &c
 	}
 
-	c := client{*addr}
-	resp, err := c.sweep(req)
-	if err != nil {
+	cs := newClients(*addr)
+	var resp api.SweepResponse
+	if err := failover(cs, func(c client) error {
+		var err error
+		resp, err = c.sweep(req)
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(planLine(resp.Plan))
@@ -330,7 +414,7 @@ func cmdSweep(args []string) {
 	}
 	failed := 0
 	for _, id := range distinct {
-		job, err := c.wait(id, 50*time.Millisecond)
+		job, err := waitAny(cs, id, 50*time.Millisecond)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -354,8 +438,12 @@ func cmdGet(args []string) {
 	if fs.NArg() != 1 {
 		log.Fatal("usage: xbcctl get [-addr URL] <job-id>")
 	}
-	job, err := client{*addr}.get(fs.Arg(0))
-	if err != nil {
+	var job api.Job
+	if err := failover(newClients(*addr), func(c client) error {
+		var err error
+		job, err = c.get(fs.Arg(0))
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 	printJSON(job)
@@ -370,7 +458,14 @@ func cmdWatch(args []string) {
 	if fs.NArg() != 1 {
 		log.Fatal("usage: xbcctl watch [-addr URL] <job-id>")
 	}
-	resp, err := http.Get(*addr + "/v1/jobs/" + fs.Arg(0) + "/events")
+	var resp *http.Response
+	var err error
+	for _, c := range newClients(*addr) {
+		resp, err = http.Get(c.base + "/v1/jobs/" + fs.Arg(0) + "/events")
+		if err == nil || !transportErr(err) {
+			break
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -420,7 +515,7 @@ func cmdLoadgen(args []string) {
 	if len(ws) == 0 {
 		log.Fatal("loadgen needs at least one workload")
 	}
-	c := client{*addr}
+	cs := newClients(*addr)
 
 	// Tickets are issued on a central channel so the aggregate rate holds
 	// regardless of concurrency; each ticket carries the submission index
@@ -444,13 +539,18 @@ func cmdLoadgen(args []string) {
 		}
 	}()
 
-	// Latency histogram: 1ms buckets to 30s, clamped above.
+	// Latency histograms, one per endpoint: 1ms buckets to 30s, clamped
+	// above. Jobs round-robin across endpoints by submission index.
 	var (
 		mu       sync.Mutex
-		hist     = stats.NewHistogram(30_000)
+		hists    = make([]*stats.Histogram, len(cs))
 		statuses = map[string]int{}
 		failures int
+		retried  int
 	)
+	for i := range hists {
+		hists[i] = stats.NewHistogram(30_000)
+	}
 	start := now()
 	var wg sync.WaitGroup
 	for g := 0; g < *conc; g++ {
@@ -463,21 +563,15 @@ func cmdLoadgen(args []string) {
 					Uops: *uops, Budget: *budget, Fidelity: *fid,
 				}
 				t0 := now()
-				sub, err := c.submit(spec)
-				if err != nil {
-					mu.Lock()
-					failures++
-					mu.Unlock()
-					continue
-				}
-				job, err := c.wait(sub.ID, 10*time.Millisecond)
+				ep, sub, job, retries, err := runJob(cs, i, spec)
 				lat := now().Sub(t0)
 				mu.Lock()
+				retried += retries
 				if err != nil || job.State != "done" {
 					failures++
 				} else {
 					statuses[sub.Status]++
-					hist.Add(int(lat.Milliseconds()))
+					hists[ep].Add(int(lat.Milliseconds()))
 				}
 				mu.Unlock()
 			}
@@ -486,18 +580,70 @@ func cmdLoadgen(args []string) {
 	wg.Wait()
 	elapsed := now().Sub(start)
 
-	ok := hist.Total()
-	fmt.Printf("loadgen: %d submissions in %v (%.1f/s), %d ok, %d failed\n",
+	var ok uint64
+	for _, h := range hists {
+		ok += h.Total()
+	}
+	line := fmt.Sprintf("loadgen: %d submissions in %v (%.1f/s), %d ok, %d failed",
 		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), ok, failures)
+	if retried > 0 {
+		line += fmt.Sprintf(", %d retried", retried)
+	}
+	fmt.Println(line)
 	fmt.Printf("  status    queued=%d coalesced=%d cached=%d\n",
 		statuses[api.SubmitQueued], statuses[api.SubmitCoalesced], statuses[api.SubmitCached])
+	merged := stats.NewHistogram(30_000)
+	for _, h := range hists {
+		merged.Merge(h)
+	}
 	if ok > 0 {
 		fmt.Printf("  latency   p50=%dms p90=%dms p99=%dms mean=%.1fms\n",
-			hist.Percentile(0.50), hist.Percentile(0.90), hist.Percentile(0.99), hist.Mean())
+			merged.Percentile(0.50), merged.Percentile(0.90), merged.Percentile(0.99), merged.Mean())
+	}
+	if len(cs) > 1 {
+		for ei, c := range cs {
+			h := hists[ei]
+			if h.Total() == 0 {
+				fmt.Printf("  %-28s ok=0\n", c.base)
+				continue
+			}
+			fmt.Printf("  %-28s ok=%d p50=%dms p90=%dms p99=%dms\n",
+				c.base, h.Total(), h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99))
+		}
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runJob submits one loadgen job and polls it to its terminal state,
+// failing over across endpoints: a daemon dying mid-load costs a retry
+// elsewhere, not a failed request. A lost job (404 for an id we were
+// just handed) is resubmitted — content-addressed ids make the retry the
+// same logical job, recomputed bit-identically wherever it lands.
+func runJob(cs []client, i int, spec jobspec.Spec) (ep int, sub api.SubmitResponse, job api.Job, retries int, err error) {
+	attempts := 3 * len(cs)
+	for a := 0; a < attempts; a++ {
+		ep = (i + a) % len(cs)
+		sub, err = cs[ep].submit(spec)
+		if err != nil {
+			if transportErr(err) {
+				retries++
+				continue
+			}
+			return
+		}
+		job, err = cs[ep].wait(sub.ID, 10*time.Millisecond)
+		if err != nil {
+			if transportErr(err) || lostJob(err) {
+				retries++
+				continue
+			}
+			return
+		}
+		return
+	}
+	return
 }
 
 // cmdSelfcheck is the end-to-end oracle: the served result of a spec must
@@ -511,7 +657,8 @@ func cmdSelfcheck(args []string) {
 		os.Exit(2)
 	}
 	spec := buildSpec()
-	c := client{*addr}
+	cs := newClients(*addr)
+	c := cs[0]
 
 	sub, err := c.submit(spec)
 	if err != nil {
@@ -579,12 +726,46 @@ func cmdSelfcheck(args []string) {
 	fmt.Printf("selfcheck ok: job %s bit-identical to direct run; resubmission cached; %s\n",
 		sub.ID, planLine(p))
 
+	// Cross-endpoint phase (multi-endpoint -addr): every other endpoint
+	// must resolve the same spec to the same job id and serve
+	// bit-identical metrics. In a cluster the ring forwards them all to
+	// one owner; a fallback execution is bit-identical by construction,
+	// so this holds even under degraded routing.
+	for _, c2 := range cs[1:] {
+		sub2, err := c2.submit(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sub2.ID != sub.ID {
+			log.Fatalf("endpoint %s resolved the spec to job %s, want %s", c2.base, sub2.ID, sub.ID)
+		}
+		job2, err := c2.wait(sub.ID, 50*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served2, err := json.Marshal(job2.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(served, served2) {
+			log.Fatalf("METRICS DIVERGE across endpoints\n%s: %s\n%s: %s", c.base, served, c2.base, served2)
+		}
+		fmt.Printf("selfcheck cluster ok: %s serves job %s bit-identical\n", c2.base, sub.ID)
+	}
+
 	// Fidelity-ladder phase (skipped with -check: checked runs are pinned
 	// to full fidelity): a sampled run must advertise its error bound, and
 	// a later full-fidelity run of the same cell must upgrade the cached
 	// entry — a sampled resubmission is then served the full job, not an
-	// alias of the approximation.
+	// alias of the approximation. Also skipped with multiple endpoints:
+	// the sampled and full siblings carry different content keys, so a
+	// cluster may place them on different owners, and the upgrade is a
+	// per-node cache property by design.
 	if spec.Check {
+		return
+	}
+	if len(cs) > 1 {
+		fmt.Println("selfcheck fidelity: skipped with multiple endpoints (sibling specs may own different nodes)")
 		return
 	}
 	samp := spec

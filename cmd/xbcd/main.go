@@ -9,6 +9,8 @@
 //	xbcd -addr 127.0.0.1:0 -addr-file /tmp/xbcd.addr
 //	xbcd -shards 8 -workers 2 -timeout 2m -drain-journal drained.json
 //	xbcd -store /var/lib/xbcd -store-fsync always -store-max-bytes 1073741824
+//	xbcd -addr :8321 -cluster-addr http://10.0.0.1:8321 \
+//	     -peers http://10.0.0.2:8321,http://10.0.0.3:8321
 //
 // API (see internal/service):
 //
@@ -28,6 +30,14 @@
 // cache hits without re-simulating (see internal/store). If the store
 // cannot be opened the daemon logs the reason, runs memory-only, and
 // reports "unavailable" under the store key of /healthz.
+//
+// With -peers, the daemon joins a consistent-hash cluster (see
+// internal/cluster): job content keys place every spec on exactly one
+// owning node, non-owners transparently proxy, sweeps scatter their
+// unique cells across the ring, and an unreachable owner degrades to
+// local execution — counted in xbcd_cluster_fallbacks_total, never an
+// error. Without -peers the serving path is byte-for-byte the
+// single-node daemon.
 package main
 
 import (
@@ -38,8 +48,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"xbc/internal/cluster"
 	"xbc/internal/runner"
 	"xbc/internal/service"
 	"xbc/internal/store"
@@ -64,6 +76,10 @@ func main() {
 		storeMax = flag.Int64("store-max-bytes", 0, "compact the store segment past this size, evicting oldest records (0 = unbounded)")
 		snapshot = flag.Int("snapshot-cache", 64, "warm-state snapshots kept in memory for full-fidelity warmup skipping (negative disables snapshots)")
 		upgrade  = flag.Bool("upgrade-sampled", false, "resubmit a full-fidelity job in the background after serving a sampled or estimate result")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs; non-empty enables cluster mode")
+		clAddr   = flag.String("cluster-addr", "", "this node's advertised base URL, as peers reach it (default http://<bound addr>)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per cluster member on the placement ring")
+		peerPoll = flag.Duration("peer-poll", time.Second, "peer health polling interval in cluster mode")
 	)
 	flag.Parse()
 
@@ -129,7 +145,27 @@ func main() {
 	}
 	log.Printf("listening on %s", bound)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *clAddr
+		if self == "" {
+			self = "http://" + bound
+		}
+		cl = cluster.New(cluster.Options{
+			Self:         self,
+			Peers:        strings.Split(*peers, ","),
+			VNodes:       *vnodes,
+			PollInterval: *peerPoll,
+		})
+		handler = cl.Handler(handler)
+		cl.Start()
+		defer cl.Stop()
+		log.Printf("cluster: self %s, ring of %d nodes, %d vnodes each",
+			cl.Self(), len(cl.Ring().Nodes()), cl.Ring().VNodes())
+	}
+
+	httpSrv := &http.Server{Handler: handler}
 	ctx, stop := runner.NotifyContext(context.Background())
 	defer stop()
 	serveErr := make(chan error, 1)

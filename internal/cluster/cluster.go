@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xbc/internal/service/api"
+)
+
+// Options configures a Cluster. Self and Peers are node addresses
+// (base URLs); they are normalized through NormalizeNode, and every
+// daemon in the cluster must be configured with the same address
+// strings — ring placement hashes them.
+type Options struct {
+	// Self is this node's advertised base URL (how peers reach it).
+	Self string
+	// Peers are the other nodes' base URLs.
+	Peers []string
+	// VNodes is the virtual-node count per node (DefaultVNodes when 0).
+	VNodes int
+	// PollInterval is the peer health polling period (default 1s).
+	PollInterval time.Duration
+	// FailAfter is how many consecutive failed health polls mark a peer
+	// down (default 1: a single failed poll reroutes its segment).
+	FailAfter int
+	// Client issues forwarded requests. The default has no global
+	// timeout — event streams are long-lived — and relies on the
+	// incoming request's context for cancellation.
+	Client *http.Client
+	// HealthClient issues health polls; unlike Client it carries a short
+	// timeout so one hung peer cannot stall the poll loop. Defaults to a
+	// 2-second-timeout client.
+	HealthClient *http.Client
+}
+
+// Cluster is the membership, routing, and fan-out layer over one
+// service node. It is constructed once at daemon start; the ring is
+// immutable, and only per-peer health flips at runtime.
+type Cluster struct {
+	self  string
+	peers []string // sorted, self excluded
+	ring  *Ring
+
+	client       *http.Client
+	healthClient *http.Client
+	pollInterval time.Duration
+	failAfter    int
+
+	mu       sync.Mutex
+	down     map[string]bool
+	failures map[string]int
+
+	forwards   atomic.Uint64 // requests proxied to an owning peer
+	fallbacks  atomic.Uint64 // owner unreachable; served locally instead
+	rebalances atomic.Uint64 // peer health transitions (each moves ring segments)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds the cluster layer. It does not start health polling; call
+// Start once the node is listening (a cluster that never Starts still
+// routes, treating every peer as up until a forward fails).
+func New(opts Options) *Cluster {
+	self := NormalizeNode(opts.Self)
+	seen := map[string]bool{self: true}
+	var peers []string
+	for _, p := range opts.Peers {
+		n := NormalizeNode(p)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		peers = append(peers, n)
+	}
+	sort.Strings(peers)
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = time.Second
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 1
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.HealthClient == nil {
+		opts.HealthClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	return &Cluster{
+		self:         self,
+		peers:        peers,
+		ring:         NewRing(append([]string{self}, peers...), opts.VNodes),
+		client:       opts.Client,
+		healthClient: opts.HealthClient,
+		pollInterval: opts.PollInterval,
+		failAfter:    opts.FailAfter,
+		down:         make(map[string]bool, len(peers)),
+		failures:     make(map[string]int, len(peers)),
+		stop:         make(chan struct{}),
+	}
+}
+
+// Self returns this node's normalized address.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the (immutable) placement ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner resolves the live owner of a content key: the ring owner with
+// down peers' segments fallen to their successors. local reports whether
+// that owner is this node.
+func (c *Cluster) Owner(key string) (node string, local bool) {
+	node = c.ring.OwnerAvoiding(key, c.isDown)
+	return node, node == c.self
+}
+
+// isDown reports whether a node is currently marked down. Self is never
+// down from its own perspective.
+func (c *Cluster) isDown(node string) bool {
+	if node == c.self {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[node]
+}
+
+// Counters returns the forward/fallback/rebalance totals (for tests and
+// the metrics rendering).
+func (c *Cluster) Counters() (forwards, fallbacks, rebalances uint64) {
+	return c.forwards.Load(), c.fallbacks.Load(), c.rebalances.Load()
+}
+
+// Start launches the health poll loop. No-op without peers.
+func (c *Cluster) Start() {
+	if len(c.peers) == 0 {
+		return
+	}
+	c.wg.Add(1)
+	go c.pollLoop()
+}
+
+// Stop ends health polling and waits for the loop to exit. Idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// pollLoop probes every peer's /healthz each interval.
+func (c *Cluster) pollLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.pollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.pollOnce()
+		}
+	}
+}
+
+// pollOnce probes each peer once and applies health transitions. A peer
+// is healthy iff GET /healthz answers 200 — a draining peer (503)
+// reroutes away exactly like a dead one, which is what lets a cluster
+// drain one node with zero failed requests.
+func (c *Cluster) pollOnce() {
+	for _, p := range c.peers {
+		c.applyHealth(p, c.probe(p))
+	}
+}
+
+// probe reports whether one peer currently answers healthy.
+func (c *Cluster) probe(peer string) bool {
+	resp, err := c.healthClient.Get(peer + "/healthz")
+	if err != nil {
+		return false
+	}
+	//xbc:ignore errdrop health probe body is discarded; a close failure changes nothing
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// applyHealth folds one probe result into the peer's state, counting a
+// rebalance on every up/down transition (each transition moves the
+// peer's ring segments to or from its successor).
+func (c *Cluster) applyHealth(peer string, healthy bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if healthy {
+		c.failures[peer] = 0
+		if c.down[peer] {
+			delete(c.down, peer)
+			c.rebalances.Add(1)
+		}
+		return
+	}
+	c.failures[peer]++
+	if c.failures[peer] >= c.failAfter && !c.down[peer] {
+		c.down[peer] = true
+		c.rebalances.Add(1)
+	}
+}
+
+// Health renders the ring state for /healthz.
+func (c *Cluster) Health() *api.ClusterHealth {
+	h := &api.ClusterHealth{
+		Self:   c.self,
+		VNodes: c.ring.VNodes(),
+		Nodes:  len(c.ring.nodes),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.peers {
+		h.Peers = append(h.Peers, api.ClusterPeer{Addr: p, Up: !c.down[p]})
+	}
+	return h
+}
+
+// renderMetrics appends the cluster counters and per-peer health gauges
+// in Prometheus text exposition format.
+func (c *Cluster) renderMetrics(b *strings.Builder) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(b, "# HELP xbcd_cluster_peers_total nodes in the placement ring, this one included\n# TYPE xbcd_cluster_peers_total gauge\nxbcd_cluster_peers_total %d\n", len(c.ring.nodes))
+	counter("xbcd_cluster_forwards_total", "requests proxied to the owning peer", c.forwards.Load())
+	counter("xbcd_cluster_fallbacks_total", "requests served locally because the owner was unreachable", c.fallbacks.Load())
+	counter("xbcd_cluster_rebalances_total", "peer health transitions, each moving ring segments", c.rebalances.Load())
+	fmt.Fprintf(b, "# HELP xbcd_cluster_peer_up peer health as observed by this node (1 up, 0 down)\n# TYPE xbcd_cluster_peer_up gauge\n")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.peers {
+		up := 1
+		if c.down[p] {
+			up = 0
+		}
+		fmt.Fprintf(b, "xbcd_cluster_peer_up{peer=%q} %d\n", p, up)
+	}
+}

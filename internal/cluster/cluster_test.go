@@ -1,0 +1,525 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xbc/internal/cluster"
+	"xbc/internal/service"
+	"xbc/internal/service/api"
+	"xbc/internal/service/jobspec"
+)
+
+// testNode is one member of an in-process cluster: a real service
+// behind a real listener, wrapped in the cluster ownership gate.
+type testNode struct {
+	svc   *service.Server
+	cl    *cluster.Cluster
+	ts    *httptest.Server
+	execs atomic.Uint64
+}
+
+func (n *testNode) url() string { return n.ts.URL }
+
+// newTestCluster spins up size nodes that know each other. exec is the
+// per-node execution hook; nil counts executions and runs the real
+// jobspec path. Health polling stays off unless poll is true, so the
+// default cluster is timing-free: every peer is presumed up and an
+// unreachable one costs a counted fallback.
+func newTestCluster(t *testing.T, size int, exec func(jobspec.Spec) (jobspec.Result, error), poll bool) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	addrs := make([]string, size)
+	for i := range nodes {
+		nodes[i] = &testNode{ts: httptest.NewUnstartedServer(http.NotFoundHandler())}
+		addrs[i] = "http://" + nodes[i].ts.Listener.Addr().String()
+	}
+	for i, n := range nodes {
+		n := n
+		hook := exec
+		if hook == nil {
+			hook = func(s jobspec.Spec) (jobspec.Result, error) { return jobspec.Execute(s) }
+		}
+		n.svc = service.New(service.Options{
+			SnapshotEntries: -1, // keep multi-server tests off the process-global snapshot manager
+			Exec: func(s jobspec.Spec) (jobspec.Result, error) {
+				n.execs.Add(1)
+				return hook(s)
+			},
+		})
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		n.cl = cluster.New(cluster.Options{
+			Self:         addrs[i],
+			Peers:        peers,
+			PollInterval: 5 * time.Millisecond,
+			FailAfter:    1,
+		})
+		n.ts.Config.Handler = n.cl.Handler(n.svc.Handler())
+		n.ts.Start()
+		if poll {
+			n.cl.Start()
+		}
+		t.Cleanup(func() {
+			n.ts.Close()
+			n.cl.Stop()
+			n.svc.Drain()
+		})
+	}
+	return nodes
+}
+
+func tinySpec() jobspec.Spec {
+	return jobspec.Spec{Frontend: jobspec.KindXBC, Workload: "straightline", Uops: 20_000, Budget: 4096}
+}
+
+// specOwnedBy searches uops variants of the tiny spec until one's
+// content key is owned by want (as node views sees it).
+func specOwnedBy(t *testing.T, views *cluster.Cluster, want string) jobspec.Spec {
+	t.Helper()
+	spec := tinySpec()
+	for delta := uint64(0); delta < 4096; delta++ {
+		spec.Uops = 20_000 + delta
+		key, err := spec.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := views.Owner(key); owner == want {
+			return spec
+		}
+	}
+	t.Fatalf("no spec variant owned by %s", want)
+	return spec
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// waitJob polls base until the job is terminal.
+func waitJob(t *testing.T, base, id string) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decodeBody[api.Job](t, resp)
+		switch job.State {
+		case "done", "failed", "aborted":
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became terminal", id)
+	return api.Job{}
+}
+
+func totalExecs(nodes []*testNode) uint64 {
+	var n uint64
+	for _, node := range nodes {
+		n += node.execs.Load()
+	}
+	return n
+}
+
+// TestClusterSubmitAnyNodeBitIdentical: the same spec submitted to every
+// node resolves to one job id, executes exactly once cluster-wide, and
+// every node serves bit-identical metrics for it.
+func TestClusterSubmitAnyNodeBitIdentical(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil, false)
+	spec := tinySpec()
+
+	sub0 := decodeBody[api.SubmitResponse](t, postJSON(t, nodes[0].url()+"/v1/jobs", spec))
+	if sub0.ID == "" {
+		t.Fatal("no job id")
+	}
+	waitJob(t, nodes[0].url(), sub0.ID)
+
+	var metrics [][]byte
+	for i, n := range nodes {
+		sub := decodeBody[api.SubmitResponse](t, postJSON(t, n.url()+"/v1/jobs", spec))
+		if sub.ID != sub0.ID {
+			t.Fatalf("node %d resolved the spec to %s, node 0 to %s", i, sub.ID, sub0.ID)
+		}
+		job := waitJob(t, n.url(), sub0.ID)
+		if job.State != "done" || job.Metrics == nil {
+			t.Fatalf("node %d: job %s state %s: %s", i, sub0.ID, job.State, job.Error)
+		}
+		m, err := json.Marshal(job.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics = append(metrics, m)
+	}
+	for i, m := range metrics[1:] {
+		if !bytes.Equal(m, metrics[0]) {
+			t.Fatalf("metrics diverge between node 0 and node %d:\n%s\n%s", i+1, metrics[0], m)
+		}
+	}
+	if got := totalExecs(nodes); got != 1 {
+		t.Fatalf("cluster executed the spec %d times, want exactly once", got)
+	}
+}
+
+// TestClusterForwardCounted: a submit landing on a non-owner is proxied
+// and counted in the gateway node's forwards counter.
+func TestClusterForwardCounted(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil, false)
+	// A spec NOT owned by node 0, so submitting there must forward.
+	spec := specOwnedBy(t, nodes[0].cl, nodes[1].cl.Self())
+	sub := decodeBody[api.SubmitResponse](t, postJSON(t, nodes[0].url()+"/v1/jobs", spec))
+	waitJob(t, nodes[0].url(), sub.ID)
+	if fw, fb, _ := nodes[0].cl.Counters(); fw < 1 || fb != 0 {
+		t.Fatalf("node 0 counters forwards=%d fallbacks=%d, want forward without fallback", fw, fb)
+	}
+	if nodes[1].execs.Load() != 1 || totalExecs(nodes) != 1 {
+		t.Fatalf("owner executed %d, cluster %d; want 1/1", nodes[1].execs.Load(), totalExecs(nodes))
+	}
+}
+
+// TestClusterHopHeaderPreventsLoops: a request already carrying the hop
+// header is served locally even by a non-owner — the degraded case of
+// divergent rings costs one extra hop, never a cycle.
+func TestClusterHopHeaderPreventsLoops(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil, false)
+	spec := specOwnedBy(t, nodes[0].cl, nodes[1].cl.Self())
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, nodes[0].url()+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HopHeader, "http://elsewhere:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := decodeBody[api.SubmitResponse](t, resp)
+	waitJob(t, nodes[0].url(), sub.ID)
+	if fw, _, _ := nodes[0].cl.Counters(); fw != 0 {
+		t.Fatalf("hop-marked request still forwarded (%d)", fw)
+	}
+	if nodes[0].execs.Load() != 1 {
+		t.Fatalf("non-owner under hop header executed %d jobs, want 1", nodes[0].execs.Load())
+	}
+}
+
+// TestClusterOwnerDownFallback: with the owning node dead, a submit to a
+// survivor executes locally, succeeds, and is counted as a fallback.
+func TestClusterOwnerDownFallback(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil, false)
+	spec := specOwnedBy(t, nodes[0].cl, nodes[1].cl.Self())
+	nodes[1].ts.Close()
+
+	sub := decodeBody[api.SubmitResponse](t, postJSON(t, nodes[0].url()+"/v1/jobs", spec))
+	job := waitJob(t, nodes[0].url(), sub.ID)
+	if job.State != "done" {
+		t.Fatalf("fallback job ended %s: %s", job.State, job.Error)
+	}
+	if _, fb, _ := nodes[0].cl.Counters(); fb < 1 {
+		t.Fatalf("fallbacks = %d, want >= 1", fb)
+	}
+	if nodes[0].execs.Load() != 1 {
+		t.Fatalf("gateway executed %d jobs under fallback, want 1", nodes[0].execs.Load())
+	}
+}
+
+// TestClusterHealthRebalance: a peer turning unhealthy moves its segment
+// to a survivor (one rebalance); recovery restores the original
+// placement (a second rebalance) with no re-simulation implied — the
+// ring is immutable, only the avoidance set changes.
+func TestClusterHealthRebalance(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+
+	cl := cluster.New(cluster.Options{
+		Self:         "http://self.invalid:1",
+		Peers:        []string{peer.URL},
+		PollInterval: 2 * time.Millisecond,
+		FailAfter:    1,
+	})
+	cl.Start()
+	defer cl.Stop()
+
+	// A key the peer owns while healthy.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("key-%d", i)
+		if owner, local := cl.Owner(key); !local && owner == cluster.NormalizeNode(peer.URL) {
+			break
+		}
+		if i > 4096 {
+			t.Fatal("peer owns no keys")
+		}
+	}
+
+	waitFor := func(cond func() bool, msg string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal(msg)
+	}
+
+	healthy.Store(false)
+	waitFor(func() bool { _, _, rb := cl.Counters(); return rb >= 1 }, "peer never marked down")
+	if owner, local := cl.Owner(key); !local {
+		t.Fatalf("down peer's key still routed to %s", owner)
+	}
+	if h := cl.Health(); len(h.Peers) != 1 || h.Peers[0].Up {
+		t.Fatalf("health = %+v, want the peer reported down", h)
+	}
+
+	healthy.Store(true)
+	waitFor(func() bool { _, _, rb := cl.Counters(); return rb >= 2 }, "peer never recovered")
+	if owner, local := cl.Owner(key); local || owner != cluster.NormalizeNode(peer.URL) {
+		t.Fatalf("recovered peer did not re-own its key (owner %s local %v)", owner, local)
+	}
+	if h := cl.Health(); len(h.Peers) != 1 || !h.Peers[0].Up {
+		t.Fatalf("health = %+v, want the peer reported up", h)
+	}
+}
+
+// sweepGrid builds a 1000-cell request of which 90% are duplicates: 10
+// distinct workloads listed 10 times each (100 entries) x 10 budgets =
+// 1000 cells, 100 distinct.
+func sweepGrid() api.SweepRequest {
+	distinct := []string{"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex", "quake", "doom"}
+	var workloads []string
+	for i := 0; i < 10; i++ {
+		workloads = append(workloads, distinct...)
+	}
+	var budgets []int
+	for i := 0; i < 10; i++ {
+		budgets = append(budgets, 4096+1024*i)
+	}
+	return api.SweepRequest{
+		Frontends: []string{jobspec.KindXBC},
+		Workloads: workloads,
+		Budgets:   budgets,
+		Uops:      2_000,
+	}
+}
+
+func checkBalance(t *testing.T, p *api.PlanReport) {
+	t.Helper()
+	if p == nil {
+		t.Fatal("sweep response has no plan")
+	}
+	if p.Planned != p.Deduped+p.CacheHits+p.StoreHits+p.Coalesced+p.Simulated+p.Unsubmitted {
+		t.Fatalf("plan does not balance: %+v", p)
+	}
+}
+
+// TestClusterDistributedSweepDedup: a 1000-cell, 90%-duplicate sweep
+// simulates exactly its 100 distinct cells exactly once cluster-wide;
+// repeating it simulates nothing.
+func TestClusterDistributedSweepDedup(t *testing.T) {
+	fast := func(jobspec.Spec) (jobspec.Result, error) { return jobspec.Result{}, nil }
+	nodes := newTestCluster(t, 3, fast, false)
+	req := sweepGrid()
+
+	sw := decodeBody[api.SweepResponse](t, postJSON(t, nodes[0].url()+"/v1/sweeps", req))
+	if sw.Error != "" {
+		t.Fatalf("sweep failed: %s", sw.Error)
+	}
+	checkBalance(t, sw.Plan)
+	if sw.Plan.Planned != 1000 || sw.Plan.Deduped != 900 || sw.Plan.Simulated != 100 {
+		t.Fatalf("plan = %+v, want planned=1000 deduped=900 simulated=100", sw.Plan)
+	}
+	if len(sw.Jobs) != 1000 {
+		t.Fatalf("jobs = %d, want 1000 (duplicates alias their primary)", len(sw.Jobs))
+	}
+	distinct := map[string]bool{}
+	for _, j := range sw.Jobs {
+		distinct[j.ID] = true
+	}
+	if len(distinct) != 100 {
+		t.Fatalf("distinct jobs = %d, want 100", len(distinct))
+	}
+	for id := range distinct {
+		if job := waitJob(t, nodes[0].url(), id); job.State != "done" {
+			t.Fatalf("job %s ended %s: %s", id, job.State, job.Error)
+		}
+	}
+	if got := totalExecs(nodes); got != 100 {
+		t.Fatalf("cluster executed %d cells, want exactly the 100 distinct", got)
+	}
+	if fw, _, _ := nodes[0].cl.Counters(); fw < 1 {
+		t.Fatal("a 3-node sweep forwarded nothing; scatter is not distributing")
+	}
+
+	// The same sweep again: everything is a cache hit somewhere; nothing
+	// re-simulates.
+	sw2 := decodeBody[api.SweepResponse](t, postJSON(t, nodes[0].url()+"/v1/sweeps", req))
+	checkBalance(t, sw2.Plan)
+	if sw2.Plan.Simulated != 0 || sw2.Plan.CacheHits != 100 {
+		t.Fatalf("repeat plan = %+v, want cache_hits=100 simulated=0", sw2.Plan)
+	}
+	if got := totalExecs(nodes); got != 100 {
+		t.Fatalf("repeat sweep re-executed: %d total execs", got)
+	}
+}
+
+// TestClusterSweepStreamNDJSON: the streaming form emits one line per
+// gathered cell plus a final line carrying the merged response.
+func TestClusterSweepStreamNDJSON(t *testing.T) {
+	fast := func(jobspec.Spec) (jobspec.Result, error) { return jobspec.Result{}, nil }
+	nodes := newTestCluster(t, 3, fast, false)
+	req := api.SweepRequest{
+		Frontends: []string{jobspec.KindXBC},
+		Workloads: []string{"gcc", "quake", "gcc"},
+		Budgets:   []int{4096, 8192},
+		Uops:      2_000,
+	}
+	resp := postJSON(t, nodes[0].url()+"/v1/sweeps?stream=ndjson", req)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var cellLines int
+	var final *api.SweepEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev api.SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if ev.Done {
+			e := ev
+			final = &e
+			continue
+		}
+		cellLines++
+		if ev.Error != "" || ev.Job == nil || ev.Plan == nil || ev.Node == "" {
+			t.Fatalf("bad cell line: %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 3x2 grid with one duplicated workload: 6 planned, 4 distinct.
+	if cellLines != 4 {
+		t.Fatalf("cell lines = %d, want 4", cellLines)
+	}
+	if final == nil || final.Sweep == nil {
+		t.Fatal("stream carried no final merged response")
+	}
+	checkBalance(t, final.Sweep.Plan)
+	if final.Sweep.Plan.Planned != 6 || final.Sweep.Plan.Deduped != 2 {
+		t.Fatalf("final plan = %+v, want planned=6 deduped=2", final.Sweep.Plan)
+	}
+}
+
+// TestClusterSweepOwnerDead: a sweep scattered while one node is dead
+// completes with every cell accounted — the dead node's cells fall back
+// to the coordinator, counted, with zero unsubmitted.
+func TestClusterSweepOwnerDead(t *testing.T) {
+	fast := func(jobspec.Spec) (jobspec.Result, error) { return jobspec.Result{}, nil }
+	nodes := newTestCluster(t, 3, fast, false)
+	nodes[2].ts.Close()
+
+	sw := decodeBody[api.SweepResponse](t, postJSON(t, nodes[0].url()+"/v1/sweeps", sweepGrid()))
+	if sw.Error != "" {
+		t.Fatalf("sweep with a dead node failed: %s", sw.Error)
+	}
+	checkBalance(t, sw.Plan)
+	if sw.Plan.Planned != 1000 || sw.Plan.Unsubmitted != 0 {
+		t.Fatalf("plan = %+v, want all 1000 cells accounted with none unsubmitted", sw.Plan)
+	}
+	if _, fb, _ := nodes[0].cl.Counters(); fb < 1 {
+		t.Fatal("no fallbacks counted though a third of the ring is dead")
+	}
+	distinct := map[string]bool{}
+	for _, j := range sw.Jobs {
+		distinct[j.ID] = true
+	}
+	for id := range distinct {
+		if job := waitJob(t, nodes[0].url(), id); job.State != "done" {
+			t.Fatalf("job %s ended %s: %s", id, job.State, job.Error)
+		}
+	}
+	if got := nodes[2].execs.Load(); got != 0 {
+		t.Fatalf("dead node executed %d cells", got)
+	}
+}
+
+// TestClusterSweepNodeDiesMidSweep: killing a node concurrently with the
+// scatter still yields a complete, balanced response — whichever cells
+// were in flight either landed on the owner before it died or fell back.
+func TestClusterSweepNodeDiesMidSweep(t *testing.T) {
+	fast := func(jobspec.Spec) (jobspec.Result, error) { return jobspec.Result{}, nil }
+	nodes := newTestCluster(t, 3, fast, false)
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(2 * time.Millisecond)
+		nodes[2].ts.CloseClientConnections()
+		nodes[2].ts.Close()
+	}()
+	sw := decodeBody[api.SweepResponse](t, postJSON(t, nodes[0].url()+"/v1/sweeps", sweepGrid()))
+	<-killed
+
+	if sw.Error != "" {
+		t.Fatalf("mid-sweep kill surfaced an error: %s", sw.Error)
+	}
+	checkBalance(t, sw.Plan)
+	if sw.Plan.Planned != 1000 || sw.Plan.Unsubmitted != 0 {
+		t.Fatalf("plan = %+v, want all 1000 cells accounted", sw.Plan)
+	}
+	if len(sw.Jobs) != 1000 {
+		t.Fatalf("jobs = %d, want 1000", len(sw.Jobs))
+	}
+}

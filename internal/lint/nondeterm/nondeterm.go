@@ -35,6 +35,7 @@ var corePackages = map[string]bool{
 	"xbc/internal/service/jobspec": true,
 	"xbc/internal/planner":         true,
 	"xbc/internal/planner/grid":    true,
+	"xbc/internal/cluster":         true,
 	"xbc/cmd/report":               true,
 	"xbc/cmd/xbcsim":               true,
 	"xbc/cmd/benchjson":            true,

@@ -112,6 +112,20 @@ type SweepResponse struct {
 	Error string           `json:"error,omitempty"`
 }
 
+// SweepEvent is one line of a clustered sweep's NDJSON stream
+// (POST /v1/sweeps?stream=ndjson): a gathered-cell line carries Node,
+// Job, and Plan (or Error when the cell's owner refused it); the final
+// line sets Done and carries the merged SweepResponse.
+type SweepEvent struct {
+	Seq   int             `json:"seq"`
+	Node  string          `json:"node,omitempty"`
+	Job   *SubmitResponse `json:"job,omitempty"`
+	Plan  *PlanReport     `json:"plan,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Done  bool            `json:"done,omitempty"`
+	Sweep *SweepResponse  `json:"sweep,omitempty"`
+}
+
 // Health answers GET /healthz.
 type Health struct {
 	Status string `json:"status"` // "ok" or "draining"
@@ -120,6 +134,25 @@ type Health struct {
 	// but failed to open; running memory-only), or empty when no store
 	// is configured.
 	Store string `json:"store,omitempty"`
+	// Cluster reports the placement-ring state when the daemon runs in
+	// cluster mode (-peers); absent on a single node.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the ring state a clustered daemon reports on
+// /healthz: its own advertised address, the ring geometry, and each
+// peer's health as this node observes it.
+type ClusterHealth struct {
+	Self   string        `json:"self"`
+	VNodes int           `json:"vnodes"`
+	Nodes  int           `json:"nodes"` // ring size, self included
+	Peers  []ClusterPeer `json:"peers,omitempty"`
+}
+
+// ClusterPeer is one peer's observed health.
+type ClusterPeer struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
 }
 
 // Error is the JSON body of every non-2xx response.

@@ -2,8 +2,9 @@ package service
 
 import (
 	"errors"
-	"hash/fnv"
 	"sync"
+
+	"xbc/internal/keyhash"
 )
 
 // ErrQueueFull is returned by push when the job's shard is at capacity;
@@ -32,11 +33,11 @@ func newQueue(shards, depth int) *queue {
 	return q
 }
 
-// shardFor routes a content key to its shard.
+// shardFor routes a content key to its shard through the shared keyhash
+// helper — the same function the cluster ring places keys with, so a
+// key's queue shard and its owning node can never hash differently.
 func (q *queue) shardFor(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key)) //xbc:ignore errdrop fnv Write never fails
-	return int(h.Sum32() % uint32(len(q.shards)))
+	return keyhash.Shard(key, len(q.shards))
 }
 
 // push enqueues the job on its shard without blocking.

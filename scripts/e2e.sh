@@ -15,8 +15,10 @@ set -eu
 GO=${GO:-go}
 WORK=$(mktemp -d)
 XBCD_PID=
+CL_PIDS=
 trap 'status=$?
   [ -n "$XBCD_PID" ] && kill -9 "$XBCD_PID" 2>/dev/null || true
+  for p in $CL_PIDS; do kill -9 "$p" 2>/dev/null || true; done
   rm -rf "$WORK"
   exit $status' EXIT INT TERM
 
@@ -182,4 +184,112 @@ grep -q 'drained; bye' "$WORK/xbcd2.log" || {
   cat "$WORK/xbcd2.log" >&2
   exit 1
 }
+
+# ---------------------------------------------------------------------------
+# Cluster phase: 3 nodes on one consistent-hash ring (fixed ports derived
+# from the pid; -peer-poll is set long so routing never learns about the
+# SIGKILL below — every owner-down interaction must take the counted
+# fallback path rather than being quietly rerouted by health polling).
+# ---------------------------------------------------------------------------
+echo "e2e: cluster — starting 3 nodes"
+P1=$((10000 + ($$ % 20000))); P2=$((P1 + 1)); P3=$((P1 + 2))
+A1="http://127.0.0.1:$P1"; A2="http://127.0.0.1:$P2"; A3="http://127.0.0.1:$P3"
+start_xbcd "$WORK/caddr1" "$WORK/cnode1.log" -store "$WORK/cstore1" \
+  -addr "127.0.0.1:$P1" -peers "$A2,$A3" -peer-poll 30s
+CL_PID1=$XBCD_PID
+start_xbcd "$WORK/caddr2" "$WORK/cnode2.log" -store "$WORK/cstore2" \
+  -addr "127.0.0.1:$P2" -peers "$A1,$A3" -peer-poll 30s
+CL_PID2=$XBCD_PID
+start_xbcd "$WORK/caddr3" "$WORK/cnode3.log" -store "$WORK/cstore3" \
+  -addr "127.0.0.1:$P3" -peers "$A1,$A2" -peer-poll 30s
+CL_PID3=$XBCD_PID
+XBCD_PID=
+CL_PIDS="$CL_PID1 $CL_PID2 $CL_PID3"
+echo "e2e: cluster nodes $CL_PIDS at $A1 $A2 $A3"
+
+curl -fsS "$A1/healthz" | grep -q '"cluster"' || {
+  echo "e2e: /healthz carries no cluster ring state" >&2
+  exit 1
+}
+
+echo "e2e: cluster selfcheck — same job id and bit-identical metrics on every node"
+"$WORK/xbcctl" selfcheck -addr "$A1,$A2,$A3" -fe xbc -trace gcc -uops 50000 \
+  | tee "$WORK/cselfcheck.out"
+[ "$(grep -c 'selfcheck cluster ok' "$WORK/cselfcheck.out")" -eq 2 ] || {
+  echo "e2e: cross-node selfcheck did not verify both other endpoints" >&2
+  exit 1
+}
+
+echo "e2e: cluster sweep — the coordinator dedups, owners simulate once"
+SWEEP=$("$WORK/xbcctl" sweep -addr "$A1" -fe xbc \
+  -traces gcc,quake,doom,gcc,quake,doom -budgets 8192,16384 -uops 20000 -wait)
+echo "$SWEEP"
+echo "$SWEEP" | grep -q 'planned=12 deduped=6 cache_hit=0 store_hit=0 coalesced=0 simulated=6' || {
+  echo "e2e: distributed sweep plan did not dedup as expected" >&2
+  exit 1
+}
+FW=0
+for a in "$A1" "$A2" "$A3"; do
+  n=$(curl -fsS "$a/metrics" | sed -n 's/^xbcd_cluster_forwards_total //p')
+  FW=$((FW + ${n:-0}))
+done
+[ "$FW" -ge 1 ] || {
+  echo "e2e: no request was ever forwarded between nodes (forwards=$FW)" >&2
+  exit 1
+}
+echo "e2e: cluster forwards=$FW"
+
+echo "e2e: cluster loadgen with a SIGKILL mid-load — zero failed requests"
+"$WORK/xbcctl" loadgen -addr "$A1,$A2,$A3" -conc 4 -n 60 -qps 80 -uops 20000 \
+  >"$WORK/cloadgen.out" 2>&1 &
+LG_PID=$!
+sleep 0.3
+kill -9 "$CL_PID3"
+while kill -0 "$CL_PID3" 2>/dev/null; do sleep 0.05; done
+wait "$LG_PID" || {
+  echo "e2e: loadgen failed while a node was killed mid-load:" >&2
+  cat "$WORK/cloadgen.out" >&2
+  exit 1
+}
+cat "$WORK/cloadgen.out"
+grep -q ' 0 failed' "$WORK/cloadgen.out" || {
+  echo "e2e: loadgen reported failed requests after the mid-load kill" >&2
+  exit 1
+}
+CL_PIDS="$CL_PID1 $CL_PID2"
+
+echo "e2e: cluster fallback — dead-owner submissions execute locally, counted"
+i=0
+while :; do
+  FB=0
+  for a in "$A1" "$A2"; do
+    n=$(curl -fsS "$a/metrics" | sed -n 's/^xbcd_cluster_fallbacks_total //p')
+    FB=$((FB + ${n:-0}))
+  done
+  [ "$FB" -ge 1 ] && break
+  i=$((i + 1))
+  if [ "$i" -gt 30 ]; then
+    echo "e2e: no fallback was ever counted with a node dead" >&2
+    exit 1
+  fi
+  # Each distinct spec has a 1-in-3 chance of being owned by the dead
+  # node; a handful of submissions makes a fallback all but certain.
+  "$WORK/xbcctl" submit -addr "$A1" -fe xbc -trace straightline \
+    -uops $((30000 + i)) -wait >/dev/null
+done
+echo "e2e: cluster fallbacks=$FB (degraded, counted, zero failed requests)"
+
+echo "e2e: cluster shutdown"
+kill -TERM "$CL_PID1" "$CL_PID2"
+i=0
+while kill -0 "$CL_PID1" 2>/dev/null || kill -0 "$CL_PID2" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 150 ]; then
+    echo "e2e: cluster nodes did not drain within 15s" >&2
+    cat "$WORK/cnode1.log" "$WORK/cnode2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+CL_PIDS=
 echo "e2e: ok"
